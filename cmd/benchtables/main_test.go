@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout during fn and returns what was printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	if errRun != nil {
+		t.Fatal(errRun)
+	}
+	return string(buf[:n])
+}
+
+func TestAnalyticSections(t *testing.T) {
+	cases := map[string]string{
+		"fig1":   "basic-fairness LP",
+		"fig2":   "end-to-end fair",
+		"fig4":   "LP optimum",
+		"fig5":   "pentagon",
+		"fig6":   "2PA-C",
+		"tableI": "adopted 2PA-D shares",
+	}
+	for section, want := range cases {
+		t.Run(section, func(t *testing.T) {
+			out := capture(t, func() error { return run(1, 1, section) })
+			if !strings.Contains(out, want) {
+				t.Errorf("section %s missing %q:\n%s", section, want, out)
+			}
+		})
+	}
+}
+
+func TestSimulationSectionsShort(t *testing.T) {
+	out := capture(t, func() error { return run(2, 1, "tableII") })
+	if !strings.Contains(out, "802.11") || !strings.Contains(out, "2PA-C") {
+		t.Errorf("tableII output:\n%s", out)
+	}
+	out = capture(t, func() error { return run(2, 1, "transport") })
+	if !strings.Contains(out, "goodput") {
+		t.Errorf("transport output:\n%s", out)
+	}
+	out = capture(t, func() error { return run(2, 1, "ideal") })
+	if !strings.Contains(out, "MAC efficiency") {
+		t.Errorf("ideal output:\n%s", out)
+	}
+}
+
+func TestUnknownSection(t *testing.T) {
+	if err := run(1, 1, "nope"); err == nil {
+		t.Error("unknown section should fail")
+	}
+}

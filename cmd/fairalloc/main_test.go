@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"e2efair"
+)
+
+func TestRunBuiltinTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "figure1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"2pa-c", "0.5000", "two-tier"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunSingleStrategy(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "figure6", "-strategy", "2pa-c"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if strings.Contains(text, "two-tier") {
+		t.Errorf("single-strategy output should omit others:\n%s", text)
+	}
+	if !strings.Contains(text, "2pa-c") {
+		t.Errorf("missing requested strategy:\n%s", text)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "figure1", "-json", "-contention"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Contention  *e2efair.ContentionReport      `json:"contention"`
+		Allocations map[string]*e2efair.Allocation `json:"allocations"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &payload); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if payload.Contention == nil || len(payload.Allocations) == 0 {
+		t.Errorf("payload incomplete: %+v", payload)
+	}
+}
+
+func TestRunReportAndDot(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "pentagon", "-report"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "schedulable: false") {
+		t.Errorf("pentagon report should flag unschedulability:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-scenario", "figure1", "-dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "graph contention {") {
+		t.Errorf("bad DOT output:\n%s", out.String())
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	spec := e2efair.Figure1Spec()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-spec", path, "-strategy", "basic"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0.2500") {
+		t.Errorf("expected basic shares:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no source should fail")
+	}
+	if err := run([]string{"-scenario", "nope"}, &out); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+	if err := run([]string{"-scenario", "figure1", "-strategy", "bogus"}, &out); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+	if err := run([]string{"-scenario", "figure1", "-spec", "x.json"}, &out); err == nil {
+		t.Error("both sources should fail")
+	}
+}

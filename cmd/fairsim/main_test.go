@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"e2efair"
+)
+
+func TestRunSingleProtocol(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scenario", "figure1", "-protocol", "2pa-c", "-duration", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "2pa-c") || !strings.Contains(text, "totalE2E") {
+		t.Errorf("output:\n%s", text)
+	}
+}
+
+func TestRunAllProtocolsJSON(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scenario", "figure1", "-duration", "2", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*e2efair.SimResult
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(results) != len(e2efair.Protocols()) {
+		t.Errorf("got %d results, want %d", len(results), len(e2efair.Protocols()))
+	}
+	for _, r := range results {
+		if r.DurationSec != 2 {
+			t.Errorf("%s: duration %g", r.Protocol, r.DurationSec)
+		}
+	}
+}
+
+func TestRunFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scenario", "figure1", "-protocol", "2pa-c", "-duration", "2",
+		"-rate", "50", "-alpha", "0.001", "-queue", "20", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2pa-c") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no source should fail")
+	}
+	if err := run([]string{"-scenario", "figure1", "-protocol", "bogus", "-duration", "1"}, &out); err == nil {
+		t.Error("unknown protocol should fail")
+	}
+	if err := run([]string{"-spec", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing spec file should fail")
+	}
+}
+
+func TestRunReliableMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scenario", "figure1", "-protocol", "2pa-c", "-duration", "5", "-reliable"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "goodput") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunTraceFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "figure1", "-duration", "1", "-trace", "/tmp/x.tr"}, &out); err == nil {
+		t.Error("-trace without -protocol should fail")
+	}
+	path := t.TempDir() + "/events.tr"
+	err := run([]string{"-scenario", "figure1", "-protocol", "2pa-c", "-duration", "1", "-trace", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		t.Errorf("trace file empty: %v", err)
+	}
+}

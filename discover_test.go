@@ -1,0 +1,149 @@
+package e2efair_test
+
+import (
+	"testing"
+
+	"e2efair"
+)
+
+func meshSpec() e2efair.NetworkSpec {
+	return e2efair.NetworkSpec{
+		Nodes: []e2efair.NodeSpec{
+			{Name: "a", X: 0, Y: 0}, {Name: "b", X: 200, Y: 0},
+			{Name: "c", X: 400, Y: 0}, {Name: "d", X: 600, Y: 0},
+			{Name: "e", X: 800, Y: 0},
+		},
+		Flows: []e2efair.FlowSpec{
+			{ID: "F1", Path: []string{"a", "e"}},
+		},
+	}
+}
+
+func TestNewNetworkWithDiscovery(t *testing.T) {
+	net, disc, err := e2efair.NewNetworkWithDiscovery(meshSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := disc.Routes["F1"]
+	if len(route) != 5 || route[0] != "a" || route[4] != "e" {
+		t.Errorf("discovered route = %v", route)
+	}
+	if disc.Broadcasts == 0 {
+		t.Error("no broadcast cost recorded")
+	}
+	if disc.LatencySec["F1"] <= 0 {
+		t.Errorf("latency = %g", disc.LatencySec["F1"])
+	}
+	path, err := net.FlowPath("F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 5 {
+		t.Errorf("network path = %v", path)
+	}
+	// The discovered network allocates normally.
+	alloc, err := net.Allocate(e2efair.StrategyCentralized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.PerFlow["F1"] <= 0 {
+		t.Errorf("allocation = %v", alloc.PerFlow)
+	}
+}
+
+func TestDiscoveryEmptySpec(t *testing.T) {
+	if _, _, err := e2efair.NewNetworkWithDiscovery(e2efair.NetworkSpec{}, 1); err == nil {
+		t.Error("empty spec should fail")
+	}
+}
+
+func TestDiscoveryExplicitPathsPassThrough(t *testing.T) {
+	spec := meshSpec()
+	spec.Flows = []e2efair.FlowSpec{
+		{ID: "F1", Path: []string{"a", "b", "c"}},
+	}
+	net, disc, err := e2efair.NewNetworkWithDiscovery(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disc.Broadcasts != 0 {
+		t.Errorf("explicit paths should not flood: %d broadcasts", disc.Broadcasts)
+	}
+	path, err := net.FlowPath("F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestSimulateReliable(t *testing.T) {
+	net, err := e2efair.NewNetwork(e2efair.Figure1Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.SimulateReliable(e2efair.ReliableConfig{
+		Sim: e2efair.SimConfig{Protocol: e2efair.Protocol2PAC, DurationSec: 10, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalGoodput == 0 {
+		t.Fatal("zero goodput")
+	}
+	if res.PerFlowGoodput["F1"] == 0 || res.PerFlowGoodput["F2"] == 0 {
+		t.Errorf("per-flow goodput = %v", res.PerFlowGoodput)
+	}
+	if res.RetransmissionOverhead > 0.1 {
+		t.Errorf("2PA overhead %.3f unexpectedly high", res.RetransmissionOverhead)
+	}
+	if _, err := net.SimulateReliable(e2efair.ReliableConfig{
+		Sim: e2efair.SimConfig{Protocol: "bogus"},
+	}); err == nil {
+		t.Error("bogus protocol should fail")
+	}
+}
+
+func TestSimulateDynamicThroughAPI(t *testing.T) {
+	net, err := e2efair.NewNetwork(e2efair.Figure1Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.SimulateDynamic(
+		e2efair.SimConfig{Protocol: e2efair.Protocol2PAC, DurationSec: 30, Seed: 1},
+		[]e2efair.ChurnEvent{
+			{AtSec: 0, Start: []string{"F1", "F2"}},
+			{AtSec: 15, Stop: []string{"F1"}},
+		},
+		5,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reallocations != 2 {
+		t.Errorf("reallocations = %d", res.Reallocations)
+	}
+	if res.TotalDelivered == 0 {
+		t.Error("nothing delivered")
+	}
+	wins := res.WindowedPerFlow["F2"]
+	if len(wins) < 5 {
+		t.Fatalf("windows = %v", wins)
+	}
+	if wins[len(wins)-1] <= wins[1] {
+		t.Errorf("F2 should speed up after F1 stops: %v", wins)
+	}
+	if len(res.WindowTimesSec) != len(wins) {
+		t.Errorf("times/windows mismatch: %d vs %d", len(res.WindowTimesSec), len(wins))
+	}
+	if _, err := net.SimulateDynamic(e2efair.SimConfig{Protocol: "bogus"}, nil, 0); err == nil {
+		t.Error("bogus protocol should fail")
+	}
+	if _, err := net.SimulateDynamic(
+		e2efair.SimConfig{Protocol: e2efair.Protocol2PAC, DurationSec: 1},
+		[]e2efair.ChurnEvent{{AtSec: 0, Start: []string{"F9"}}}, 0,
+	); err == nil {
+		t.Error("unknown flow should fail")
+	}
+}

@@ -1,0 +1,98 @@
+package e2efair_test
+
+// Runnable godoc examples for the public API.
+
+import (
+	"fmt"
+	"sort"
+
+	"e2efair"
+)
+
+// Example computes the paper's Fig. 1 optimal allocation: flow F1's
+// hops contend with both hops of F2, and the basic-fairness LP gives
+// (B/2, B/4).
+func Example() {
+	net, err := e2efair.NewNetwork(e2efair.NetworkSpec{
+		Nodes: []e2efair.NodeSpec{
+			{Name: "A", X: 0}, {Name: "B", X: 200}, {Name: "C", X: 400},
+			{Name: "D", X: 600, Y: 200}, {Name: "E", X: 600}, {Name: "F", X: 800},
+		},
+		Flows: []e2efair.FlowSpec{
+			{ID: "F1", Path: []string{"A", "B", "C"}},
+			{ID: "F2", Path: []string{"D", "E", "F"}},
+		},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	alloc, err := net.Allocate(e2efair.StrategyCentralized)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("F1=%.2f F2=%.2f total=%.2f\n", alloc.PerFlow["F1"], alloc.PerFlow["F2"], alloc.Total)
+	// Output: F1=0.50 F2=0.25 total=0.75
+}
+
+// ExampleNetwork_Contention inspects the derived subflow contention
+// graph.
+func ExampleNetwork_Contention() {
+	net, err := e2efair.NewNetwork(e2efair.Figure1Spec())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep := net.Contention()
+	fmt.Println("subflows:", rep.Subflows)
+	fmt.Println("omega:", rep.WeightedCliqueNumber)
+	// Output:
+	// subflows: [F1.1 F1.2 F2.1 F2.2]
+	// omega: 3
+}
+
+// ExampleNetwork_Allocate compares strategies on the six-hop chain:
+// the virtual length caps a lone flow's basic share at B/3 however
+// long it grows.
+func ExampleNetwork_Allocate() {
+	net, err := e2efair.NewNetwork(e2efair.ChainSpec(6))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	basic, err := net.Allocate(e2efair.StrategyBasic)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	naive, err := net.Allocate(e2efair.StrategySingleHop)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("basic=%.4f naive=%.4f\n", basic.PerFlow["F1"], naive.PerFlow["F1"])
+	// Output: basic=0.3333 naive=0.1667
+}
+
+// ExampleParseStrategy resolves strategy names.
+func ExampleParseStrategy() {
+	names := make([]string, 0, len(e2efair.Strategies()))
+	for _, s := range e2efair.Strategies() {
+		names = append(names, s.String())
+	}
+	sort.Strings(names)
+	fmt.Println(names)
+	// Output: [2pa-c 2pa-d basic fairness maxmin singlehop two-tier]
+}
+
+// ExampleBuiltinSpec lists the bundled paper scenarios.
+func ExampleBuiltinSpec() {
+	spec, err := e2efair.BuiltinSpec("pentagon")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d nodes, %d flows\n", len(spec.Nodes), len(spec.Flows))
+	// Output: 10 nodes, 5 flows
+}

@@ -1,0 +1,74 @@
+// Command discovery runs the full realistic pipeline the paper
+// envisions: routes are found by DSR's flood-based route discovery
+// (not an oracle), the discovered multi-hop paths define the subflow
+// contention graph, the 2PA first phase allocates shares, and a
+// reliable transport measures end-to-end goodput over the phase-2
+// scheduler versus plain 802.11.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"e2efair"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A 12-node topology; flows declared by endpoints only.
+	spec := e2efair.NetworkSpec{
+		Nodes: []e2efair.NodeSpec{
+			{Name: "n0", X: 0, Y: 0}, {Name: "n1", X: 200, Y: 60},
+			{Name: "n2", X: 400, Y: 0}, {Name: "n3", X: 600, Y: 80},
+			{Name: "n4", X: 800, Y: 0}, {Name: "n5", X: 1000, Y: 60},
+			{Name: "n6", X: 160, Y: 260}, {Name: "n7", X: 400, Y: 300},
+			{Name: "n8", X: 640, Y: 320}, {Name: "n9", X: 880, Y: 280},
+			{Name: "n10", X: 300, Y: 520}, {Name: "n11", X: 620, Y: 540},
+		},
+		Flows: []e2efair.FlowSpec{
+			{ID: "F1", Path: []string{"n0", "n5"}},   // long west-east flow
+			{ID: "F2", Path: []string{"n6", "n9"}},   // middle band
+			{ID: "F3", Path: []string{"n10", "n11"}}, // southern hop(s)
+		},
+	}
+
+	net, disc, err := e2efair.NewNetworkWithDiscovery(spec, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== DSR route discovery (packet-accurate flood) ==")
+	for _, id := range net.Flows() {
+		fmt.Printf("%s: route %v, found after %.3f s\n", id, disc.Routes[id], disc.LatencySec[id])
+	}
+	fmt.Printf("flood cost: %d RREQ broadcasts, %d RREP hops\n\n", disc.Broadcasts, disc.Replies)
+
+	alloc, err := net.Allocate(e2efair.StrategyCentralized)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== 2PA allocation over the discovered routes ==")
+	for _, id := range net.Flows() {
+		fmt.Printf("%s: share %.4f·B\n", id, alloc.PerFlow[id])
+	}
+
+	fmt.Println("\n== Reliable transport (60 s): goodput and retransmission waste ==")
+	for _, p := range []e2efair.Protocol{e2efair.Protocol80211, e2efair.Protocol2PAC} {
+		res, err := net.SimulateReliable(e2efair.ReliableConfig{
+			Sim: e2efair.SimConfig{Protocol: p, DurationSec: 60, Seed: 2},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s goodput=%6d retx=%5d overhead=%.3f per-flow=%v\n",
+			p, res.TotalGoodput, res.Retransmissions, res.RetransmissionOverhead, res.PerFlowGoodput)
+	}
+	fmt.Println("\nUnder 2PA, balanced per-hop shares mean packets rarely die after")
+	fmt.Println("consuming upstream airtime, so nearly every transmission is new data.")
+	return nil
+}

@@ -1,0 +1,61 @@
+// Command mobile runs the epochal mobility extension: nodes move
+// under a random waypoint model, routes break and are repaired at
+// epoch boundaries, and the 2PA first phase reallocates over the
+// reachable flows each epoch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"e2efair/internal/mobility"
+	"e2efair/internal/netsim"
+	"e2efair/internal/sim"
+)
+
+func main() {
+	speed := flag.Float64("speed", 10, "maximum node speed (m/s)")
+	durationSec := flag.Float64("duration", 120, "simulated seconds")
+	flag.Parse()
+	if err := run(*speed, *durationSec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(maxSpeed, durationSec float64) error {
+	cfg := mobility.Config{
+		Nodes: 25,
+		Waypoint: mobility.WaypointConfig{
+			Width: 1200, Height: 900,
+			MinSpeed: 1, MaxSpeed: maxSpeed,
+			MaxPause: 2 * sim.Second,
+		},
+		Flows: []mobility.FlowSpec{
+			{ID: "F1", Src: 0, Dst: 20},
+			{ID: "F2", Src: 3, Dst: 17},
+			{ID: "F3", Src: 7, Dst: 22},
+		},
+		Protocol: netsim.Protocol2PAC,
+		Epoch:    10 * sim.Second,
+		Duration: sim.Time(durationSec * float64(sim.Second)),
+		Seed:     5,
+	}
+	res, err := mobility.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %7s %7s %9s %10s %6s\n", "t(s)", "routed", "broken", "rerouted", "delivered", "lost")
+	for _, ep := range res.Epochs {
+		fmt.Printf("%6.0f %7d %7d %9d %10d %6d\n",
+			ep.Start.Seconds(), ep.Routed, ep.Broken, ep.Rerouted, ep.Delivered, ep.Lost)
+	}
+	fmt.Printf("\ntotals: delivered=%d lost=%d routeBreaks=%d unreachable-flow-epochs=%d\n",
+		res.TotalDelivered, res.TotalLost, res.RouteBreaks, res.Unreachable)
+	fmt.Printf("per-flow: %v\n", res.PerFlow)
+	fmt.Println("\nEach epoch the first phase re-solves the clique LP over the")
+	fmt.Println("current topology, so shares track both route changes and the")
+	fmt.Println("set of reachable flows.")
+	return nil
+}

@@ -1,0 +1,82 @@
+// Command quickstart walks through the library on the paper's Fig. 1
+// network: two 2-hop flows whose downstream hops contend. It prints
+// the contention structure, compares every allocation strategy, and
+// runs a short packet-level simulation of 2PA.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"e2efair"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The paper's Fig. 1: F1 = A→B→C, F2 = D→E→F. Node C is within
+	// range of E, so F1's second hop contends with both hops of F2,
+	// while F1's first hop is free of them.
+	net, err := e2efair.NewNetwork(e2efair.NetworkSpec{
+		Nodes: []e2efair.NodeSpec{
+			{Name: "A", X: 0, Y: 0},
+			{Name: "B", X: 200, Y: 0},
+			{Name: "C", X: 400, Y: 0},
+			{Name: "D", X: 600, Y: 200},
+			{Name: "E", X: 600, Y: 0},
+			{Name: "F", X: 800, Y: 0},
+		},
+		Flows: []e2efair.FlowSpec{
+			{ID: "F1", Path: []string{"A", "B", "C"}},
+			{ID: "F2", Path: []string{"D", "E", "F"}},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	rep := net.Contention()
+	fmt.Println("== Contention structure ==")
+	fmt.Printf("subflows:   %v\n", rep.Subflows)
+	fmt.Printf("contending: %v\n", rep.Edges)
+	fmt.Printf("cliques:    %v\n", rep.Cliques)
+	fmt.Printf("ω_Ω:        %.0f\n", rep.WeightedCliqueNumber)
+
+	fmt.Println("\n== Allocation strategies (shares of channel capacity B) ==")
+	for _, s := range e2efair.Strategies() {
+		alloc, err := net.Allocate(s)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s total=%.4f  ", s, alloc.Total)
+		keys := make([]string, 0, len(alloc.PerFlow))
+		for k := range alloc.PerFlow {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%s=%.4f ", k, alloc.PerFlow[k])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== Packet-level simulation, 60 simulated seconds ==")
+	for _, p := range []e2efair.Protocol{e2efair.Protocol80211, e2efair.ProtocolTwoTier, e2efair.Protocol2PAC} {
+		res, err := net.Simulate(e2efair.SimConfig{Protocol: p, DurationSec: 60, Seed: 1})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s delivered=%6d lost=%5d lossRatio=%.4f  per-flow=%v\n",
+			p, res.TotalDelivered, res.Lost, res.LossRatio, res.PerFlowDelivered)
+	}
+	fmt.Println("\n2PA delivers the highest end-to-end total with near-zero loss:")
+	fmt.Println("the allocation balances each flow's hops, so packets never pile")
+	fmt.Println("up at intermediate routers.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module e2efair
+
+go 1.22

@@ -1,0 +1,80 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"e2efair/internal/analysis"
+	"e2efair/internal/scenario"
+)
+
+func TestAnalyzeFig1(t *testing.T) {
+	sc, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := analysis.Analyze(sc.Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumFlows != 2 || rep.NumSubflows != 4 || rep.NumCliques != 2 {
+		t.Errorf("counts: %d flows, %d subflows, %d cliques", rep.NumFlows, rep.NumSubflows, rep.NumCliques)
+	}
+	if rep.OmegaWeighted != 3 {
+		t.Errorf("ω_Ω = %g, want 3", rep.OmegaWeighted)
+	}
+	if !rep.UpperBoundSchedulable {
+		t.Error("Fig. 1 fairness rates are schedulable")
+	}
+	if got := rep.Totals["2pa-c"]; got < 0.7499 || got > 0.7501 {
+		t.Errorf("2pa-c total = %g", got)
+	}
+	// The second clique {F1.2, F2.1, F2.2} binds at the optimum
+	// (1/2 + 1/4 + 1/4 = B); the first binds too (1/2 + 1/2).
+	if len(rep.BindingCliques) != 2 {
+		t.Errorf("binding cliques = %v", rep.BindingCliques)
+	}
+	text := rep.Render()
+	for _, want := range []string{"ω_Ω = 3", "2pa-c", "binding cliques"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAnalyzePentagonUnschedulable(t *testing.T) {
+	sc, err := scenario.Pentagon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := analysis.Analyze(sc.Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UpperBoundSchedulable {
+		t.Error("pentagon Prop. 1 rates must not be schedulable")
+	}
+	if rep.MaxSchedulableFair < 0.399 || rep.MaxSchedulableFair > 0.401 {
+		t.Errorf("max schedulable fair = %g, want 0.4", rep.MaxSchedulableFair)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	sc, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := analysis.DOT(sc.Inst)
+	if !strings.HasPrefix(dot, "graph contention {") {
+		t.Errorf("bad DOT prefix: %q", dot[:30])
+	}
+	for _, want := range []string{"F1.1", "F2.2", "--"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Intra-flow contention is dashed.
+	if !strings.Contains(dot, "style=dashed") {
+		t.Error("DOT missing intra-flow styling")
+	}
+}

@@ -1,0 +1,231 @@
+package contention
+
+import (
+	"sort"
+
+	"e2efair/internal/flow"
+)
+
+// Clique is a set of pairwise-contending subflow vertices, sorted
+// ascending by vertex index.
+type Clique []int
+
+// MaximalCliques enumerates all maximal cliques of the graph using
+// Bron–Kerbosch with pivoting. These are the paper's "maximum cliques"
+// Ω_1..Ω_J (cliques not contained in another clique, Sec. III-A).
+// Isolated vertices form singleton cliques. Cliques are returned in a
+// deterministic order: sorted lexicographically by member indices.
+func (g *Graph) MaximalCliques() []Clique {
+	n := len(g.subflows)
+	var out []Clique
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	g.bronKerbosch(nil, p, nil, &out)
+	for _, c := range out {
+		sort.Ints(c)
+	}
+	sort.Slice(out, func(a, b int) bool { return lessIntSlice(out[a], out[b]) })
+	return out
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// bronKerbosch expands clique r with candidates p, excluding x.
+func (g *Graph) bronKerbosch(r, p, x []int, out *[]Clique) {
+	if len(p) == 0 && len(x) == 0 {
+		clique := make(Clique, len(r))
+		copy(clique, r)
+		*out = append(*out, clique)
+		return
+	}
+	// Pivot: the vertex of p ∪ x with most neighbors in p minimizes
+	// branching.
+	pivot, best := -1, -1
+	for _, cand := range [][]int{p, x} {
+		for _, u := range cand {
+			cnt := 0
+			for _, v := range p {
+				if g.adj[u][v] {
+					cnt++
+				}
+			}
+			if cnt > best {
+				best = cnt
+				pivot = u
+			}
+		}
+	}
+	var candidates []int
+	for _, v := range p {
+		if pivot == -1 || !g.adj[pivot][v] {
+			candidates = append(candidates, v)
+		}
+	}
+	for _, v := range candidates {
+		var np, nx []int
+		for _, u := range p {
+			if g.adj[v][u] {
+				np = append(np, u)
+			}
+		}
+		for _, u := range x {
+			if g.adj[v][u] {
+				nx = append(nx, u)
+			}
+		}
+		g.bronKerbosch(append(r, v), np, nx, out)
+		// Move v from p to x.
+		for i, u := range p {
+			if u == v {
+				p = append(p[:i:i], p[i+1:]...)
+				break
+			}
+		}
+		x = append(x, v)
+	}
+}
+
+// WeightedCliqueSize returns ω_{Ω_k}: the sum of subflow weights over
+// the clique's vertices.
+func (g *Graph) WeightedCliqueSize(c Clique) float64 {
+	var sum float64
+	for _, v := range c {
+		sum += g.subflows[v].Weight
+	}
+	return sum
+}
+
+// WeightedCliqueNumber returns ω_Ω = max_k ω_{Ω_k} over all maximal
+// cliques, and the clique attaining it. A graph with no vertices
+// yields (0, nil).
+func (g *Graph) WeightedCliqueNumber() (float64, Clique) {
+	var best float64
+	var arg Clique
+	for _, c := range g.MaximalCliques() {
+		if w := g.WeightedCliqueSize(c); w > best {
+			best = w
+			arg = c
+		}
+	}
+	return best, arg
+}
+
+// CliqueFlowCounts returns, for clique Ω_k, the per-flow subflow
+// multiplicities n_{i,k} used as LP coefficients (Eq. 3).
+func (g *Graph) CliqueFlowCounts(c Clique) map[flow.ID]int {
+	counts := make(map[flow.ID]int)
+	for _, v := range c {
+		counts[g.subflows[v].ID.Flow]++
+	}
+	return counts
+}
+
+// GreedyColoring colours the vertices so that adjacent vertices get
+// different colours, using the smallest-available-colour heuristic over
+// vertices in descending degree order. It returns the colour of each
+// vertex and the number of colours used. Vertices in the same colour
+// class form an independent set and may transmit concurrently
+// (Sec. II-D's intra-flow scheduling sets).
+func (g *Graph) GreedyColoring() ([]int, int) {
+	n := len(g.subflows)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if g.degrees[order[a]] != g.degrees[order[b]] {
+			return g.degrees[order[a]] > g.degrees[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	maxColor := 0
+	for _, v := range order {
+		used := make(map[int]bool)
+		for u, a := range g.adj[v] {
+			if a && colors[u] >= 0 {
+				used[colors[u]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		if c+1 > maxColor {
+			maxColor = c + 1
+		}
+	}
+	return colors, maxColor
+}
+
+// ColorClasses groups vertex indices by colour.
+func ColorClasses(colors []int, numColors int) [][]int {
+	classes := make([][]int, numColors)
+	for v, c := range colors {
+		if c >= 0 && c < numColors {
+			classes[c] = append(classes[c], v)
+		}
+	}
+	return classes
+}
+
+// CliquesContaining returns the maximal cliques of the graph that
+// contain vertex v, computed from v's closed neighborhood only. This
+// is the local-constructibility property the paper's distributed first
+// phase relies on (citing Huang & Bensaou): every maximal clique
+// through a subflow lies inside that subflow's closed neighborhood,
+// whose members all have an endpoint within transmission range of the
+// subflow's endpoints and are therefore overhearable by its
+// transmitter (directly or via one-hop exchange). The result equals
+// filtering MaximalCliques for v — see TestCliquesContainingIsLocal —
+// but needs no global knowledge.
+func (g *Graph) CliquesContaining(v int) []Clique {
+	if v < 0 || v >= len(g.subflows) {
+		return nil
+	}
+	closed := append(g.Neighbors(v), v)
+	sort.Ints(closed)
+	sub := g.InducedSubgraph(closed)
+	// Index of v within the induced subgraph.
+	vi := -1
+	for i, u := range closed {
+		if u == v {
+			vi = i
+			break
+		}
+	}
+	var out []Clique
+	for _, c := range sub.MaximalCliques() {
+		has := false
+		for _, u := range c {
+			if u == vi {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		mapped := make(Clique, len(c))
+		for i, u := range c {
+			mapped[i] = closed[u]
+		}
+		sort.Ints(mapped)
+		out = append(out, mapped)
+	}
+	sort.Slice(out, func(a, b int) bool { return lessIntSlice(out[a], out[b]) })
+	return out
+}

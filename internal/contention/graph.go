@@ -1,0 +1,302 @@
+// Package contention builds and analyzes subflow contention graphs
+// (Sec. II-A of the paper): vertices are backlogged subflows, and two
+// subflows contend — are connected — when the source or destination of
+// one is within transmission range of the source or destination of the
+// other. The package provides contending-flow-group partitioning,
+// maximal-clique enumeration, the weighted clique number ω_Ω, and the
+// graph colouring used to justify the virtual length.
+package contention
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"e2efair/internal/flow"
+	"e2efair/internal/topology"
+)
+
+// ErrUnknownSubflow is returned when a query names a subflow that is
+// not a vertex of the graph.
+var ErrUnknownSubflow = errors.New("contention: unknown subflow")
+
+// Graph is a subflow contention graph. Vertices are indexed densely in
+// the order the subflows were supplied.
+type Graph struct {
+	subflows []flow.Subflow
+	index    map[flow.SubflowID]int
+	adj      [][]bool
+	degrees  []int
+}
+
+// Contend reports whether subflows a and b spatially contend under the
+// paper's model: an endpoint of one within transmission range of an
+// endpoint of the other. A subflow does not contend with itself.
+func Contend(t *topology.Topology, a, b flow.Subflow) bool {
+	if a.ID == b.ID {
+		return false
+	}
+	ends := [2]topology.NodeID{a.Src, a.Dst}
+	other := [2]topology.NodeID{b.Src, b.Dst}
+	for _, u := range ends {
+		for _, v := range other {
+			if u == v || t.InTxRange(u, v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BuildGraph constructs the contention graph for every subflow of the
+// given flows over the given topology.
+func BuildGraph(t *topology.Topology, flows *flow.Set) *Graph {
+	return NewGraph(t, flows.Subflows())
+}
+
+// NewGraph constructs the contention graph over an explicit subflow
+// list, which lets callers build local (per-node) graphs.
+func NewGraph(t *topology.Topology, subflows []flow.Subflow) *Graph {
+	g := &Graph{
+		subflows: make([]flow.Subflow, len(subflows)),
+		index:    make(map[flow.SubflowID]int, len(subflows)),
+		adj:      make([][]bool, len(subflows)),
+		degrees:  make([]int, len(subflows)),
+	}
+	copy(g.subflows, subflows)
+	for i, s := range g.subflows {
+		g.index[s.ID] = i
+		g.adj[i] = make([]bool, len(subflows))
+	}
+	for i := 0; i < len(g.subflows); i++ {
+		for j := i + 1; j < len(g.subflows); j++ {
+			if Contend(t, g.subflows[i], g.subflows[j]) {
+				g.adj[i][j] = true
+				g.adj[j][i] = true
+				g.degrees[i]++
+				g.degrees[j]++
+			}
+		}
+	}
+	return g
+}
+
+// NewGraphFromEdges builds a contention graph directly from an
+// adjacency list keyed by vertex index. It exists for synthetic
+// contention structures — such as the paper's pentagon example — that
+// are specified abstractly rather than geometrically.
+func NewGraphFromEdges(subflows []flow.Subflow, edges [][2]int) (*Graph, error) {
+	g := &Graph{
+		subflows: make([]flow.Subflow, len(subflows)),
+		index:    make(map[flow.SubflowID]int, len(subflows)),
+		adj:      make([][]bool, len(subflows)),
+		degrees:  make([]int, len(subflows)),
+	}
+	copy(g.subflows, subflows)
+	for i, s := range g.subflows {
+		g.index[s.ID] = i
+		g.adj[i] = make([]bool, len(subflows))
+	}
+	for _, e := range edges {
+		i, j := e[0], e[1]
+		if i < 0 || j < 0 || i >= len(subflows) || j >= len(subflows) || i == j {
+			return nil, fmt.Errorf("contention: bad edge (%d,%d) for %d vertices", i, j, len(subflows))
+		}
+		if !g.adj[i][j] {
+			g.adj[i][j] = true
+			g.adj[j][i] = true
+			g.degrees[i]++
+			g.degrees[j]++
+		}
+	}
+	return g, nil
+}
+
+// NumVertices returns the number of subflows in the graph.
+func (g *Graph) NumVertices() int { return len(g.subflows) }
+
+// Subflow returns the subflow at vertex index i.
+func (g *Graph) Subflow(i int) flow.Subflow { return g.subflows[i] }
+
+// Subflows returns all vertices in index order. The slice is shared;
+// callers must not modify it.
+func (g *Graph) Subflows() []flow.Subflow { return g.subflows }
+
+// VertexOf returns the vertex index of a subflow ID.
+func (g *Graph) VertexOf(id flow.SubflowID) (int, error) {
+	i, ok := g.index[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownSubflow, id)
+	}
+	return i, nil
+}
+
+// Adjacent reports whether vertices i and j contend.
+func (g *Graph) Adjacent(i, j int) bool { return g.adj[i][j] }
+
+// Degree returns the number of contenders of vertex i.
+func (g *Graph) Degree(i int) int { return g.degrees[i] }
+
+// NumEdges returns the number of contention edges.
+func (g *Graph) NumEdges() int {
+	sum := 0
+	for _, d := range g.degrees {
+		sum += d
+	}
+	return sum / 2
+}
+
+// Neighbors returns the vertex indices adjacent to i, ascending.
+func (g *Graph) Neighbors(i int) []int {
+	var out []int
+	for j, a := range g.adj[i] {
+		if a {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Components partitions the vertices into connected components, each
+// sorted ascending, ordered by smallest member. Components correspond
+// to the paper's contending flow groups at subflow granularity.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, len(g.subflows))
+	var comps [][]int
+	for v := range g.subflows {
+		if seen[v] {
+			continue
+		}
+		var comp []int
+		stack := []int{v}
+		seen[v] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for w, a := range g.adj[u] {
+				if a && !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// FlowGroups partitions flows into contending flow groups (Sec. II-A):
+// two flows are grouped when any of their subflows contend, closed
+// transitively. Groups are returned as sorted lists of flow IDs,
+// ordered by first member.
+func (g *Graph) FlowGroups() [][]flow.ID {
+	groupOf := make(map[flow.ID]int)
+	next := 0
+	parent := make([]int, 0)
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	idOf := func(f flow.ID) int {
+		if id, ok := groupOf[f]; ok {
+			return id
+		}
+		groupOf[f] = next
+		parent = append(parent, next)
+		next++
+		return groupOf[f]
+	}
+	// Subflows of the same flow always share a group even when the
+	// flow's own hops were filtered out of contention (single-hop
+	// flows trivially so).
+	for _, s := range g.subflows {
+		idOf(s.ID.Flow)
+	}
+	for i := 0; i < len(g.subflows); i++ {
+		for j := i + 1; j < len(g.subflows); j++ {
+			if g.adj[i][j] {
+				union(idOf(g.subflows[i].ID.Flow), idOf(g.subflows[j].ID.Flow))
+			}
+		}
+	}
+	byRoot := make(map[int][]flow.ID)
+	for f, id := range groupOf {
+		r := find(id)
+		byRoot[r] = append(byRoot[r], f)
+	}
+	var groups [][]flow.ID
+	for _, members := range byRoot {
+		sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+		groups = append(groups, members)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
+	return groups
+}
+
+// InducedSubgraph returns the subgraph over the given vertex indices.
+// The returned graph re-indexes vertices densely in the order given.
+func (g *Graph) InducedSubgraph(vertices []int) *Graph {
+	subs := make([]flow.Subflow, len(vertices))
+	for i, v := range vertices {
+		subs[i] = g.subflows[v]
+	}
+	sg := &Graph{
+		subflows: subs,
+		index:    make(map[flow.SubflowID]int, len(subs)),
+		adj:      make([][]bool, len(subs)),
+		degrees:  make([]int, len(subs)),
+	}
+	for i, s := range subs {
+		sg.index[s.ID] = i
+		sg.adj[i] = make([]bool, len(subs))
+	}
+	for i := range vertices {
+		for j := i + 1; j < len(vertices); j++ {
+			if g.adj[vertices[i]][vertices[j]] {
+				sg.adj[i][j] = true
+				sg.adj[j][i] = true
+				sg.degrees[i]++
+				sg.degrees[j]++
+			}
+		}
+	}
+	return sg
+}
+
+// IsIndependentSet reports whether no two of the given vertices are
+// adjacent.
+func (g *Graph) IsIndependentSet(vertices []int) bool {
+	for i := 0; i < len(vertices); i++ {
+		for j := i + 1; j < len(vertices); j++ {
+			if g.adj[vertices[i]][vertices[j]] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsClique reports whether all the given vertices are pairwise
+// adjacent.
+func (g *Graph) IsClique(vertices []int) bool {
+	for i := 0; i < len(vertices); i++ {
+		for j := i + 1; j < len(vertices); j++ {
+			if !g.adj[vertices[i]][vertices[j]] {
+				return false
+			}
+		}
+	}
+	return true
+}

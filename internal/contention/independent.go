@@ -1,0 +1,54 @@
+package contention
+
+import (
+	"sort"
+
+	"e2efair/internal/flow"
+)
+
+// Complement returns the complement graph: same vertices, with edges
+// exactly where the original has none. Maximal cliques of the
+// complement are maximal independent sets of the original, i.e. sets
+// of subflows that can transmit concurrently.
+func (g *Graph) Complement() *Graph {
+	n := len(g.subflows)
+	out := &Graph{
+		subflows: make([]flow.Subflow, n),
+		index:    make(map[flow.SubflowID]int, n),
+		adj:      make([][]bool, n),
+		degrees:  make([]int, n),
+	}
+	copy(out.subflows, g.subflows)
+	for i, s := range out.subflows {
+		out.index[s.ID] = i
+		out.adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !g.adj[i][j] {
+				out.adj[i][j] = true
+				out.adj[j][i] = true
+				out.degrees[i]++
+				out.degrees[j]++
+			}
+		}
+	}
+	return out
+}
+
+// MaximalIndependentSets enumerates all maximal independent sets of
+// the graph, each sorted ascending, in deterministic order. An
+// independent set is a group of subflows that may transmit
+// concurrently without mutual contention.
+func (g *Graph) MaximalIndependentSets() [][]int {
+	comp := g.Complement()
+	cliques := comp.MaximalCliques()
+	out := make([][]int, len(cliques))
+	for i, c := range cliques {
+		set := make([]int, len(c))
+		copy(set, c)
+		sort.Ints(set)
+		out[i] = set
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+
+	"e2efair/internal/flow"
+	"e2efair/internal/lp"
+)
+
+// CentralizedOptions configures the centralized phase-1 algorithm.
+type CentralizedOptions struct {
+	// Refine applies the lexicographic weighted max-min refinement
+	// among alternate LP optima. The paper's worked solutions (Fig. 6:
+	// (B/3, B/3, 2B/3, B/8, 3B/4)) correspond to the refined vertex;
+	// without refinement any optimal vertex may be returned.
+	Refine bool
+}
+
+// CentralizedAllocate solves the paper's linear program (Sec. III-B,
+// Prop. 2) per contending flow group:
+//
+//	maximize  Σ_i r̂_i
+//	subject to Σ_i n_{i,k}·r̂_i ≤ B        for every maximal clique Ω_k
+//	           r̂_i ≥ w_i·B/Σ_j w_j·v_j    (basic fairness)
+//
+// and returns the optimal allocation strategy. With opts.Refine the
+// solution is additionally the lexicographically weighted-max-min
+// fairest point among all optima, which makes the result deterministic
+// and matches the solutions tabulated in the paper.
+func CentralizedAllocate(inst *Instance, opts CentralizedOptions) (FlowAllocation, error) {
+	out := make(FlowAllocation, inst.Flows.Len())
+	for _, g := range inst.groups() {
+		alloc, err := solveGroup(g, opts.Refine)
+		if err != nil {
+			return nil, err
+		}
+		for id, r := range alloc {
+			out[id] = r
+		}
+	}
+	return out, nil
+}
+
+// solveGroup solves one contending flow group's LP with B normalized
+// to 1.
+func solveGroup(g *group, refine bool) (FlowAllocation, error) {
+	ids := g.flowIDs()
+	n := len(ids)
+	idx := make(map[flow.ID]int, n)
+	for i, id := range ids {
+		idx[id] = i
+	}
+	rows := cliqueRows(g, idx)
+	basic := make([]float64, n)
+	weights := make([]float64, n)
+	for i, id := range ids {
+		basic[i] = g.basic[id]
+		weights[i] = g.weights[id]
+	}
+
+	x, obj, err := maximizeTotal(rows, basic)
+	if err != nil {
+		return nil, fmt.Errorf("core: centralized allocation: %w", err)
+	}
+	if refine {
+		x, err = refineMaxMin(rows, basic, weights, obj)
+		if err != nil {
+			return nil, fmt.Errorf("core: max-min refinement: %w", err)
+		}
+	}
+	alloc := make(FlowAllocation, n)
+	for i, id := range ids {
+		alloc[id] = x[i]
+	}
+	return alloc, nil
+}
+
+// cliqueRows converts the group's cliques into LP coefficient rows
+// over the given variable indexing, dropping duplicate rows.
+func cliqueRows(g *group, idx map[flow.ID]int) [][]float64 {
+	n := len(idx)
+	var rows [][]float64
+	seen := make(map[string]bool)
+	for _, counts := range g.counts {
+		row := make([]float64, n)
+		for id, cnt := range counts {
+			row[idx[id]] = float64(cnt)
+		}
+		key := rowKey(row)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func rowKey(row []float64) string {
+	key := make([]byte, 0, len(row)*4)
+	for _, v := range row {
+		key = append(key, fmt.Sprintf("%g,", v)...)
+	}
+	return string(key)
+}
+
+// maximizeTotal solves max Σ x_i subject to rows·x ≤ 1 and x ≥ basic.
+func maximizeTotal(rows [][]float64, basic []float64) ([]float64, float64, error) {
+	n := len(basic)
+	p := lp.NewProblem(n)
+	obj := make([]float64, n)
+	for i := range obj {
+		obj[i] = 1
+	}
+	if err := p.SetObjective(obj); err != nil {
+		return nil, 0, err
+	}
+	for _, row := range rows {
+		if err := p.AddLE(row, 1); err != nil {
+			return nil, 0, err
+		}
+	}
+	for i, b := range basic {
+		if err := p.LowerBound(i, b); err != nil {
+			return nil, 0, err
+		}
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sol.X, sol.Objective, nil
+}
+
+// refinement tolerances: optTol is the slack allowed on the optimal
+// total, freezeTol decides whether a flow can still grow.
+const (
+	optTol    = 1e-7
+	freezeTol = 1e-6
+)
+
+// refineMaxMin computes the lexicographic weighted max-min fairest
+// point among the optima of max Σ x_i subject to rows·x ≤ 1,
+// x ≥ basic. It repeatedly maximizes the smallest normalized share
+// x_i/w_i among unfrozen flows, then freezes the flows that cannot
+// exceed that level, in the style of progressive filling.
+func refineMaxMin(rows [][]float64, basic, weights []float64, opt float64) ([]float64, error) {
+	n := len(basic)
+	frozen := make([]bool, n)
+	value := make([]float64, n)
+	for remaining := n; remaining > 0; {
+		// Re-derive the optimal total against the current frozen set:
+		// freezing at w·t* carries rounding error that would otherwise
+		// accumulate into infeasibility of the Σx ≥ opt constraint.
+		optCur, err := maximizeTotalFrozen(rows, basic, frozen, value)
+		if err != nil {
+			return nil, err
+		}
+		opt = optCur
+		t, point, err := maximizeFloor(rows, basic, weights, opt, frozen, value)
+		if err != nil {
+			return nil, err
+		}
+		anyFrozen := false
+		// Flows that cannot exceed w_i·t* at any optimum freeze at
+		// their value in the floor LP's own solution: freezing several
+		// variables in one round at individually-maximized values can
+		// be jointly infeasible, while `point` is one consistent
+		// optimal vertex.
+		for i := 0; i < n; i++ {
+			if frozen[i] {
+				continue
+			}
+			maxi, err := maximizeVar(rows, basic, weights, opt, frozen, value, t, i)
+			if err != nil {
+				return nil, err
+			}
+			if maxi <= weights[i]*t+freezeTol {
+				frozen[i] = true
+				value[i] = point[i]
+				remaining--
+				anyFrozen = true
+			}
+		}
+		if !anyFrozen {
+			// Numerical stall: freeze everything at the consistent
+			// point to guarantee progress; in practice unreached.
+			for i := 0; i < n; i++ {
+				if !frozen[i] {
+					frozen[i] = true
+					value[i] = point[i]
+					remaining--
+				}
+			}
+		}
+	}
+	return value, nil
+}
+
+// maximizeTotalFrozen solves max Σx with frozen variables pinned,
+// yielding the optimality target for the current refinement round.
+func maximizeTotalFrozen(rows [][]float64, basic []float64, frozen []bool, value []float64) (float64, error) {
+	n := len(basic)
+	p := lp.NewProblem(n + 1) // +1 spare column to reuse addCommon
+	obj := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		obj[i] = 1
+	}
+	if err := p.SetObjective(obj); err != nil {
+		return 0, err
+	}
+	if err := addCommon(p, rows, basic, 0, frozen, value); err != nil {
+		return 0, err
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return 0, err
+	}
+	return sol.Objective, nil
+}
+
+// maximizeFloor solves: max t subject to rows·x ≤ 1, x ≥ basic,
+// Σ x ≥ opt − ε, x_i = value_i for frozen i, x_i ≥ w_i·t otherwise.
+// It returns both t and the solution's x vector (a consistent optimal
+// point used as the freeze target).
+func maximizeFloor(rows [][]float64, basic, weights []float64, opt float64, frozen []bool, value []float64) (float64, []float64, error) {
+	n := len(basic)
+	p := lp.NewProblem(n + 1) // variables: x_0..x_{n-1}, t
+	obj := make([]float64, n+1)
+	obj[n] = 1
+	if err := p.SetObjective(obj); err != nil {
+		return 0, nil, err
+	}
+	if err := addCommon(p, rows, basic, opt, frozen, value); err != nil {
+		return 0, nil, err
+	}
+	for i := 0; i < n; i++ {
+		if frozen[i] {
+			continue
+		}
+		row := make([]float64, n+1)
+		row[i] = 1
+		row[n] = -weights[i]
+		if err := p.AddGE(row, 0); err != nil {
+			return 0, nil, err
+		}
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	return sol.X[n], sol.X[:n], nil
+}
+
+// maximizeVar solves: max x_target subject to the same constraint set
+// with unfrozen floors fixed at w_i·t.
+func maximizeVar(rows [][]float64, basic, weights []float64, opt float64, frozen []bool, value []float64, t float64, target int) (float64, error) {
+	n := len(basic)
+	p := lp.NewProblem(n + 1)
+	obj := make([]float64, n+1)
+	obj[target] = 1
+	if err := p.SetObjective(obj); err != nil {
+		return 0, err
+	}
+	if err := addCommon(p, rows, basic, opt, frozen, value); err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		if frozen[i] {
+			continue
+		}
+		row := make([]float64, n+1)
+		row[i] = 1
+		if err := p.AddGE(row, weights[i]*t-optTol); err != nil {
+			return 0, err
+		}
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return 0, err
+	}
+	return sol.X[target], nil
+}
+
+// addCommon installs the clique capacity rows, basic-share floors,
+// frozen equalities and the total-optimality constraint. Problems have
+// n+1 columns; column n (the t variable) is unused by these rows.
+func addCommon(p *lp.Problem, rows [][]float64, basic []float64, opt float64, frozen []bool, value []float64) error {
+	n := len(basic)
+	for _, r := range rows {
+		row := make([]float64, n+1)
+		copy(row, r)
+		if err := p.AddLE(row, 1); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, n+1)
+		row[i] = 1
+		if frozen[i] {
+			if err := p.AddEQ(row, value[i]); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.AddGE(row, basic[i]); err != nil {
+			return err
+		}
+	}
+	total := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		total[i] = 1
+	}
+	return p.AddGE(total, opt-optTol)
+}

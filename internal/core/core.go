@@ -1,0 +1,297 @@
+// Package core implements the paper's primary contribution: optimal
+// and near-optimal end-to-end fair bandwidth allocation strategies for
+// multi-hop flows in wireless ad hoc networks (Sec. II–IV).
+//
+// All shares produced by this package are expressed as fractions of
+// the effective channel capacity B, so a share of 0.25 means B/4.
+// Allocation is computed independently per contending flow group,
+// since distinct groups can transmit concurrently without contention.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"e2efair/internal/contention"
+	"e2efair/internal/flow"
+	"e2efair/internal/routing"
+	"e2efair/internal/topology"
+)
+
+var (
+	// ErrNoFlows is returned when an instance has no flows.
+	ErrNoFlows = errors.New("core: no flows")
+	// ErrInvalidPath wraps path validation failures.
+	ErrInvalidPath = errors.New("core: invalid flow path")
+)
+
+// Instance is an allocation problem: a topology, a set of multi-hop
+// flows over it, and the derived contention structure.
+type Instance struct {
+	Topo    *topology.Topology
+	Flows   *flow.Set
+	Graph   *contention.Graph
+	Cliques []contention.Clique
+}
+
+// NewInstance validates the flows against the topology (every hop a
+// radio link, no shortcuts) and derives the subflow contention graph
+// and its maximal cliques.
+func NewInstance(topo *topology.Topology, flows *flow.Set) (*Instance, error) {
+	if flows.Len() == 0 {
+		return nil, ErrNoFlows
+	}
+	for _, f := range flows.Flows() {
+		if err := routing.ValidatePath(topo, f.Path()); err != nil {
+			return nil, fmt.Errorf("%w: flow %s: %v", ErrInvalidPath, f.ID(), err)
+		}
+	}
+	g := contention.BuildGraph(topo, flows)
+	return &Instance{
+		Topo:    topo,
+		Flows:   flows,
+		Graph:   g,
+		Cliques: g.MaximalCliques(),
+	}, nil
+}
+
+// NewInstanceFromGraph builds an instance from a pre-built contention
+// graph (used for abstract structures such as the pentagon example
+// where no geometric topology exists). Topo may be nil; allocation
+// algorithms do not consult it.
+func NewInstanceFromGraph(flows *flow.Set, g *contention.Graph) (*Instance, error) {
+	if flows.Len() == 0 {
+		return nil, ErrNoFlows
+	}
+	return &Instance{Flows: flows, Graph: g, Cliques: g.MaximalCliques()}, nil
+}
+
+// FlowAllocation maps each flow to its per-subflow channel share r̂_i
+// as a fraction of B. Because every subflow of a flow receives the
+// same share, r̂_i is also the flow's end-to-end throughput u_i.
+type FlowAllocation map[flow.ID]float64
+
+// SubflowAllocation maps individual subflows to channel shares, used
+// by strategies (such as the two-tier baseline) that allocate per
+// subflow rather than per flow.
+type SubflowAllocation map[flow.SubflowID]float64
+
+// TotalEffectiveThroughput returns Σ_i u_i, the paper's objective
+// (Sec. II-B), for a per-flow allocation.
+func (a FlowAllocation) TotalEffectiveThroughput() float64 {
+	var sum float64
+	for _, r := range a {
+		sum += r
+	}
+	return sum
+}
+
+// EndToEnd converts a per-subflow allocation into end-to-end flow
+// throughputs u_i = min_j r_{i.j} (Sec. II-B).
+func (a SubflowAllocation) EndToEnd(flows *flow.Set) FlowAllocation {
+	out := make(FlowAllocation, flows.Len())
+	for _, f := range flows.Flows() {
+		u := -1.0
+		for _, s := range f.Subflows() {
+			r := a[s.ID]
+			if u < 0 || r < u {
+				u = r
+			}
+		}
+		if u < 0 {
+			u = 0
+		}
+		out[f.ID()] = u
+	}
+	return out
+}
+
+// TotalSingleHop returns Σ over subflows of their shares, the
+// single-hop objective maximized by previous work.
+func (a SubflowAllocation) TotalSingleHop() float64 {
+	var sum float64
+	for _, r := range a {
+		sum += r
+	}
+	return sum
+}
+
+// Uniform expands a per-flow allocation into the per-subflow
+// allocation in which every subflow of flow i carries r̂_i.
+func (a FlowAllocation) Uniform(flows *flow.Set) SubflowAllocation {
+	out := make(SubflowAllocation)
+	for _, f := range flows.Flows() {
+		for _, s := range f.Subflows() {
+			out[s.ID] = a[f.ID()]
+		}
+	}
+	return out
+}
+
+// group is one contending flow group with its local clique structure.
+type group struct {
+	flows   []*flow.Flow        // insertion order
+	cliques []contention.Clique // cliques whose subflows all belong to the group
+	counts  []map[flow.ID]int   // per-clique n_{i,k}
+	weights map[flow.ID]float64 // w_i
+	basic   map[flow.ID]float64 // basic share w_i/Σ w_j v_j within the group
+}
+
+// groups partitions the instance into contending flow groups and
+// attaches each group's cliques and basic shares.
+func (inst *Instance) groups() []*group {
+	idGroups := inst.Graph.FlowGroups()
+	groupOf := make(map[flow.ID]int)
+	for gi, ids := range idGroups {
+		for _, id := range ids {
+			groupOf[id] = gi
+		}
+	}
+	out := make([]*group, len(idGroups))
+	for i := range out {
+		out[i] = &group{
+			weights: make(map[flow.ID]float64),
+			basic:   make(map[flow.ID]float64),
+		}
+	}
+	for _, f := range inst.Flows.Flows() {
+		gi, ok := groupOf[f.ID()]
+		if !ok {
+			continue // flow absent from the graph (no subflows); skip
+		}
+		out[gi].flows = append(out[gi].flows, f)
+		out[gi].weights[f.ID()] = f.Weight()
+	}
+	for _, c := range inst.Cliques {
+		if len(c) == 0 {
+			continue
+		}
+		fid := inst.Graph.Subflow(c[0]).ID.Flow
+		gi := groupOf[fid]
+		out[gi].cliques = append(out[gi].cliques, c)
+		out[gi].counts = append(out[gi].counts, inst.Graph.CliqueFlowCounts(c))
+	}
+	for _, g := range out {
+		var denom float64
+		for _, f := range g.flows {
+			denom += f.Weight() * float64(f.VirtualLength())
+		}
+		for _, f := range g.flows {
+			if denom > 0 {
+				g.basic[f.ID()] = f.Weight() / denom
+			}
+		}
+	}
+	// Keep only non-empty groups (defensive; graph groups always have
+	// at least one flow).
+	var filtered []*group
+	for _, g := range out {
+		if len(g.flows) > 0 {
+			filtered = append(filtered, g)
+		}
+	}
+	return filtered
+}
+
+// BasicShares returns each flow's basic share
+// r̂_i = w_i / Σ_j w_j·v_j computed within its contending flow group
+// (Sec. II-D).
+func BasicShares(inst *Instance) FlowAllocation {
+	out := make(FlowAllocation, inst.Flows.Len())
+	for _, g := range inst.groups() {
+		for id, b := range g.basic {
+			out[id] = b
+		}
+	}
+	return out
+}
+
+// SingleHopShares returns the allocation that treats subflows as
+// independent single-hop flows and divides B across all of them
+// (Eq. 2): r̂_i = w_i / Σ_j w_j·l_j per group. It is the strawman the
+// paper improves on: flows are penalized for their full length rather
+// than their virtual length.
+func SingleHopShares(inst *Instance) FlowAllocation {
+	out := make(FlowAllocation, inst.Flows.Len())
+	for _, g := range inst.groups() {
+		var denom float64
+		for _, f := range g.flows {
+			denom += f.Weight() * float64(f.Length())
+		}
+		for _, f := range g.flows {
+			if denom > 0 {
+				out[f.ID()] = f.Weight() / denom
+			}
+		}
+	}
+	return out
+}
+
+// FairnessConstrained returns the allocation meeting the strict
+// fairness constraint |r̂_i/w_i − r̂_j/w_j| < ε at the Prop. 1 upper
+// bound: r̂_i = w_i·B/ω_Ω per group, where ω_Ω is the group's weighted
+// clique number. As the pentagon example shows, this bound is not
+// always schedulable; see Schedulable.
+func FairnessConstrained(inst *Instance) FlowAllocation {
+	out := make(FlowAllocation, inst.Flows.Len())
+	for _, g := range inst.groups() {
+		omega := g.weightedCliqueNumber()
+		for _, f := range g.flows {
+			if omega > 0 {
+				out[f.ID()] = f.Weight() / omega
+			}
+		}
+	}
+	return out
+}
+
+// weightedCliqueNumber computes ω_Ω over the group's cliques using
+// flow weights: Σ_i n_{i,k}·w_i maximized over k.
+func (g *group) weightedCliqueNumber() float64 {
+	var best float64
+	for _, counts := range g.counts {
+		var size float64
+		for id, n := range counts {
+			size += float64(n) * g.weights[id]
+		}
+		if size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+// UpperBoundTotal returns the Prop. 1 upper bound of total effective
+// throughput, Σ_i w_i·B/ω_Ω summed over groups.
+func UpperBoundTotal(inst *Instance) float64 {
+	var total float64
+	for _, g := range inst.groups() {
+		omega := g.weightedCliqueNumber()
+		if omega <= 0 {
+			continue
+		}
+		var wsum float64
+		for _, f := range g.flows {
+			wsum += f.Weight()
+		}
+		total += wsum / omega
+	}
+	return total
+}
+
+// sortedFlowIDs returns the group's flow IDs in instance insertion
+// order (the order of g.flows).
+func (g *group) flowIDs() []flow.ID {
+	ids := make([]flow.ID, len(g.flows))
+	for i, f := range g.flows {
+		ids[i] = f.ID()
+	}
+	return ids
+}
+
+// sortIDs sorts flow IDs lexicographically; used for deterministic
+// map traversal in diagnostics.
+func sortIDs(ids []flow.ID) {
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+}

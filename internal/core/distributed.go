@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"e2efair/internal/flow"
+	"e2efair/internal/lp"
+	"e2efair/internal/topology"
+)
+
+// LocalProblem is the local optimization a single node constructs in
+// the distributed form of the first phase (Sec. IV-B): the cliques it
+// knows about, the flows those cliques mention, and the local basic
+// shares.
+type LocalProblem struct {
+	Node topology.NodeID
+	// FlowIDs are the variables of the local LP, in instance flow
+	// order.
+	FlowIDs []flow.ID
+	// Cliques are the constraint rows: per-flow subflow counts
+	// n_{i,k}, aligned with FlowIDs.
+	Cliques [][]float64
+	// Basic holds the local basic-share lower bound per variable.
+	Basic []float64
+	// Weights holds w_i per variable.
+	Weights []float64
+	// Solution is filled in by DistributedAllocate: the locally
+	// optimal shares per variable.
+	Solution []float64
+}
+
+// DistributedResult carries the outcome of the distributed first
+// phase.
+type DistributedResult struct {
+	// Shares is the adopted allocation: flow i takes the value
+	// computed at its source node.
+	Shares FlowAllocation
+	// Locals records every node's local problem and solution, in
+	// ascending node-ID order, for inspection (Table I of the paper).
+	Locals []*LocalProblem
+}
+
+// DistributedAllocate runs the distributed form of the first phase.
+// Each transmitting node constructs the maximal cliques involving its
+// own subflows. These are locally constructible: every maximal clique
+// through a subflow lies inside the subflow's closed contention
+// neighborhood, whose members are overhearable by the transmitter
+// (contention.CliquesContaining computes them from that neighborhood
+// alone, and TestCliquesContainingIsLocal proves the equivalence; this
+// implementation filters the precomputed global list purely as an
+// optimization). Nodes on the
+// same flow propagate their cliques to each other (intra-flow exchange
+// of constraints), so every node on flow F_i's path solves an LP whose
+// constraint set is the union over the path of locally constructed
+// cliques involving F_i. The local basic share divides B by
+// Σ w_j·v_j over the flows the node itself overhears — a subset of the
+// group, hence a (possibly) higher floor than the centralized form.
+// Flow i adopts the share computed at its source node.
+func DistributedAllocate(inst *Instance) (*DistributedResult, error) {
+	// cliquesOf[v] = indices into inst.Cliques containing vertex v.
+	cliquesOf := make([][]int, inst.Graph.NumVertices())
+	for ci, c := range inst.Cliques {
+		for _, v := range c {
+			cliquesOf[v] = append(cliquesOf[v], ci)
+		}
+	}
+	// Vertices transmitted by each node.
+	ownVerts := make(map[topology.NodeID][]int)
+	for v := 0; v < inst.Graph.NumVertices(); v++ {
+		s := inst.Graph.Subflow(v)
+		ownVerts[s.Src] = append(ownVerts[s.Src], v)
+	}
+	// constructed[node] = set of clique indices the node builds
+	// locally: cliques containing one of its own subflows.
+	constructed := make(map[topology.NodeID]map[int]bool)
+	for node, verts := range ownVerts {
+		set := make(map[int]bool)
+		for _, v := range verts {
+			for _, ci := range cliquesOf[v] {
+				set[ci] = true
+			}
+		}
+		constructed[node] = set
+	}
+	// Intra-flow propagation: constraint set of flow i = union of
+	// constructed cliques over its transmitters.
+	flowCliques := make(map[flow.ID]map[int]bool)
+	for _, f := range inst.Flows.Flows() {
+		set := make(map[int]bool)
+		for _, s := range f.Subflows() {
+			for ci := range constructed[s.Src] {
+				// Keep only cliques that actually constrain this flow.
+				if cliqueMentions(inst, ci, f.ID()) {
+					set[ci] = true
+				}
+			}
+		}
+		flowCliques[f.ID()] = set
+	}
+
+	res := &DistributedResult{Shares: make(FlowAllocation, inst.Flows.Len())}
+	solvedAt := make(map[topology.NodeID]*LocalProblem)
+	for _, f := range inst.Flows.Flows() {
+		src := f.Source()
+		lp, ok := solvedAt[src]
+		if !ok {
+			var err error
+			lp, err = solveLocal(inst, src, constructed[src], flowCliques)
+			if err != nil {
+				return nil, fmt.Errorf("core: distributed allocation at node %s: %w", inst.nodeName(src), err)
+			}
+			solvedAt[src] = lp
+			res.Locals = append(res.Locals, lp)
+		}
+		for i, id := range lp.FlowIDs {
+			if id == f.ID() {
+				res.Shares[f.ID()] = lp.Solution[i]
+			}
+		}
+	}
+	sort.Slice(res.Locals, func(a, b int) bool { return res.Locals[a].Node < res.Locals[b].Node })
+	return res, nil
+}
+
+func (inst *Instance) nodeName(id topology.NodeID) string {
+	if inst.Topo == nil {
+		return fmt.Sprintf("%d", id)
+	}
+	return inst.Topo.Name(id)
+}
+
+func cliqueMentions(inst *Instance, ci int, id flow.ID) bool {
+	for _, v := range inst.Cliques[ci] {
+		if inst.Graph.Subflow(v).ID.Flow == id {
+			return true
+		}
+	}
+	return false
+}
+
+// solveLocal builds and solves the local LP at one node. The
+// constraint set is the union, over flows the node transmits, of the
+// flows' propagated clique sets; the denominator of the local basic
+// share covers exactly the flows appearing in the node's own
+// locally-constructed cliques.
+func solveLocal(inst *Instance, node topology.NodeID, own map[int]bool, flowCliques map[flow.ID]map[int]bool) (*LocalProblem, error) {
+	// Constraint set: cliques propagated for each flow this node
+	// transmits.
+	cliqueSet := make(map[int]bool)
+	for v := 0; v < inst.Graph.NumVertices(); v++ {
+		s := inst.Graph.Subflow(v)
+		if s.Src != node {
+			continue
+		}
+		for ci := range flowCliques[s.ID.Flow] {
+			cliqueSet[ci] = true
+		}
+	}
+	// Variables: flows mentioned by any constraint, in instance order.
+	mentioned := make(map[flow.ID]bool)
+	for ci := range cliqueSet {
+		for _, v := range inst.Cliques[ci] {
+			mentioned[inst.Graph.Subflow(v).ID.Flow] = true
+		}
+	}
+	var ids []flow.ID
+	weightsByID := make(map[flow.ID]float64)
+	for _, f := range inst.Flows.Flows() {
+		if mentioned[f.ID()] {
+			ids = append(ids, f.ID())
+			weightsByID[f.ID()] = f.Weight()
+		}
+	}
+	idx := make(map[flow.ID]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	// Local basic-share denominator: flows in the node's own cliques.
+	known := make(map[flow.ID]bool)
+	for ci := range own {
+		for _, v := range inst.Cliques[ci] {
+			known[inst.Graph.Subflow(v).ID.Flow] = true
+		}
+	}
+	var denom float64
+	for _, f := range inst.Flows.Flows() {
+		if known[f.ID()] {
+			denom += f.Weight() * float64(f.VirtualLength())
+		}
+	}
+
+	// Wider fallback denominator over every flow in the local LP.
+	// Because a clique holds at most v_i subflows of flow i, floors
+	// w_i/Σ_vars w_j·v_j always fit every clique, so the fallback LP
+	// is guaranteed feasible when the optimistic local floor is not.
+	var denomAll float64
+	for _, f := range inst.Flows.Flows() {
+		if mentioned[f.ID()] {
+			denomAll += f.Weight() * float64(f.VirtualLength())
+		}
+	}
+	local := &LocalProblem{
+		Node:    node,
+		FlowIDs: ids,
+		Basic:   make([]float64, len(ids)),
+		Weights: make([]float64, len(ids)),
+	}
+	for i, id := range ids {
+		if denom > 0 {
+			local.Basic[i] = weightsByID[id] / denom
+		}
+		local.Weights[i] = weightsByID[id]
+	}
+	// Deterministic row order: sort clique indices.
+	var cis []int
+	for ci := range cliqueSet {
+		cis = append(cis, ci)
+	}
+	sort.Ints(cis)
+	seen := make(map[string]bool)
+	for _, ci := range cis {
+		row := make([]float64, len(ids))
+		for id, cnt := range inst.Graph.CliqueFlowCounts(inst.Cliques[ci]) {
+			row[idx[id]] = float64(cnt)
+		}
+		key := rowKey(row)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		local.Cliques = append(local.Cliques, row)
+	}
+
+	x, obj, err := maximizeTotal(local.Cliques, local.Basic)
+	if errors.Is(err, lp.ErrInfeasible) && denomAll > 0 {
+		// The optimistic local floor (denominator restricted to the
+		// flows this node overhears) can clash with a propagated
+		// clique that outweighs it; widen the denominator to every
+		// flow in the local LP and retry.
+		for i, id := range ids {
+			local.Basic[i] = weightsByID[id] / denomAll
+		}
+		x, obj, err = maximizeTotal(local.Cliques, local.Basic)
+	}
+	if err != nil {
+		return nil, err
+	}
+	x, err = refineMaxMin(local.Cliques, local.Basic, local.Weights, obj)
+	if err != nil {
+		return nil, err
+	}
+	local.Solution = x
+	return local, nil
+}

@@ -1,0 +1,277 @@
+package core_test
+
+// Property-based tests (testing/quick) over randomly generated
+// contention structures: the allocation invariants must hold for any
+// instance, not just the paper's examples.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"e2efair/internal/contention"
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+	"e2efair/internal/topology"
+)
+
+// randomAbstractInstance builds an abstract instance from fuzzed
+// bytes: n flows of 1-4 hops with weights 1-4, and a random contention
+// overlay in addition to each flow's own chain contention.
+func randomAbstractInstance(seed int64) (*core.Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	nFlows := 2 + rng.Intn(4)
+	var flows []*flow.Flow
+	next := topology.NodeID(0)
+	for i := 0; i < nFlows; i++ {
+		hops := 1 + rng.Intn(4)
+		path := make([]topology.NodeID, hops+1)
+		for j := range path {
+			path[j] = next
+			next++
+		}
+		f, err := flow.New(flow.ID(string(rune('A'+i))), float64(1+rng.Intn(4)), path)
+		if err != nil {
+			return nil, err
+		}
+		flows = append(flows, f)
+	}
+	set, err := flow.NewSet(flows...)
+	if err != nil {
+		return nil, err
+	}
+	subs := set.Subflows()
+	var edges [][2]int
+	// Intra-flow chain contention: consecutive and skip-one (as the
+	// geometric model produces).
+	index := make(map[flow.SubflowID]int, len(subs))
+	for i, s := range subs {
+		index[s.ID] = i
+	}
+	for _, f := range flows {
+		ss := f.Subflows()
+		for a := 0; a < len(ss); a++ {
+			for b := a + 1; b < len(ss) && b <= a+2; b++ {
+				edges = append(edges, [2]int{index[ss[a].ID], index[ss[b].ID]})
+			}
+		}
+	}
+	// Random inter-flow contention.
+	for i := 0; i < len(subs); i++ {
+		for j := i + 1; j < len(subs); j++ {
+			if subs[i].ID.Flow != subs[j].ID.Flow && rng.Float64() < 0.25 {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	g, err := contention.NewGraphFromEdges(subs, edges)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewInstanceFromGraph(set, g)
+}
+
+// TestQuickCentralizedInvariants: for any instance, the centralized
+// allocation is clique-feasible, respects basic shares, and its total
+// is at least the basic total and at most the schedulability-blind
+// upper bound Σ over cliqueless flows... (bounded below by basic,
+// above by number of flows).
+func TestQuickCentralizedInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		inst, err := randomAbstractInstance(seed)
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		alloc, err := core.CentralizedAllocate(inst, core.CentralizedOptions{Refine: true})
+		if err != nil {
+			t.Logf("seed %d: allocate: %v", seed, err)
+			return false
+		}
+		basic := core.BasicShares(inst)
+		for id, b := range basic {
+			if alloc[id] < b-1e-6 {
+				t.Logf("seed %d: flow %s below basic (%g < %g)", seed, id, alloc[id], b)
+				return false
+			}
+		}
+		for _, c := range inst.Cliques {
+			var load float64
+			for _, v := range c {
+				load += alloc[inst.Graph.Subflow(v).ID.Flow]
+			}
+			if load > 1+1e-6 {
+				t.Logf("seed %d: clique overloaded %g", seed, load)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRefinementPreservesOptimum: the max-min refinement never
+// changes the optimal total.
+func TestQuickRefinementPreservesOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		inst, err := randomAbstractInstance(seed)
+		if err != nil {
+			return false
+		}
+		plain, err := core.CentralizedAllocate(inst, core.CentralizedOptions{})
+		if err != nil {
+			return false
+		}
+		refined, err := core.CentralizedAllocate(inst, core.CentralizedOptions{Refine: true})
+		if err != nil {
+			return false
+		}
+		diff := plain.TotalEffectiveThroughput() - refined.TotalEffectiveThroughput()
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMaxMinIsMaxMin: in the progressive-filling allocation, no
+// flow's share can be raised without lowering a flow with a smaller
+// (or equal) normalized share — checked via the saturation property:
+// every flow is in at least one binding clique, or unconstrained flows
+// don't exist.
+func TestQuickMaxMinIsMaxMin(t *testing.T) {
+	f := func(seed int64) bool {
+		inst, err := randomAbstractInstance(seed)
+		if err != nil {
+			return false
+		}
+		alloc := core.MaxMinAllocate(inst)
+		// Feasibility.
+		for _, c := range inst.Cliques {
+			var load float64
+			for _, v := range c {
+				load += alloc[inst.Graph.Subflow(v).ID.Flow]
+			}
+			if load > 1+1e-6 {
+				return false
+			}
+		}
+		// Saturation: every flow appears in some clique with load ≈ 1
+		// (otherwise filling would have continued).
+		for _, fl := range inst.Flows.Flows() {
+			saturated := false
+			for _, c := range inst.Cliques {
+				var load float64
+				mentions := false
+				for _, v := range c {
+					id := inst.Graph.Subflow(v).ID.Flow
+					load += alloc[id]
+					if id == fl.ID() {
+						mentions = true
+					}
+				}
+				if mentions && load >= 1-1e-6 {
+					saturated = true
+					break
+				}
+			}
+			if !saturated {
+				t.Logf("seed %d: flow %s not saturated", seed, fl.ID())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTwoTierTierOneGuarantee: two-tier always grants every
+// subflow at least its weighted basic share of the whole component.
+func TestQuickTwoTierTierOneGuarantee(t *testing.T) {
+	f := func(seed int64) bool {
+		inst, err := randomAbstractInstance(seed)
+		if err != nil {
+			return false
+		}
+		alloc := core.TwoTierAllocate(inst)
+		for _, comp := range inst.Graph.Components() {
+			var wsum float64
+			for _, v := range comp {
+				wsum += inst.Graph.Subflow(v).Weight
+			}
+			for _, v := range comp {
+				s := inst.Graph.Subflow(v)
+				if alloc[s.ID] < s.Weight/wsum-1e-9 {
+					t.Logf("seed %d: subflow %s below tier-1 share", seed, s.ID)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDistributedFloor: distributed shares never fall below the
+// group basic share (local denominators are subsets of the group).
+func TestQuickDistributedFloor(t *testing.T) {
+	f := func(seed int64) bool {
+		inst, err := randomAbstractInstance(seed)
+		if err != nil {
+			return false
+		}
+		res, err := core.DistributedAllocate(inst)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		basic := core.BasicShares(inst)
+		for id, b := range basic {
+			if res.Shares[id] < b-1e-6 {
+				t.Logf("seed %d: flow %s distributed %g below basic %g", seed, id, res.Shares[id], b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSchedulabilityMonotone: scaling a schedulable rate vector
+// down keeps it schedulable.
+func TestQuickSchedulabilityMonotone(t *testing.T) {
+	f := func(seed int64, scale uint8) bool {
+		inst, err := randomAbstractInstance(seed)
+		if err != nil {
+			return false
+		}
+		tMax, err := core.MaxSchedulableFairRate(inst.Graph)
+		if err != nil {
+			return false
+		}
+		frac := float64(scale%100) / 100
+		rates := make([]float64, inst.Graph.NumVertices())
+		for v := range rates {
+			rates[v] = tMax * frac * inst.Graph.Subflow(v).Weight
+		}
+		s, err := core.CheckSchedulable(inst.Graph, rates)
+		if err != nil {
+			return false
+		}
+		return s.Feasible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"testing"
+
+	"e2efair/internal/core"
+)
+
+// TestRefinementHardSeeds pins previously-failing numerically
+// degenerate instances found by testing/quick.
+func TestRefinementHardSeeds(t *testing.T) {
+	for _, seed := range []int64{1171407265605339569, 3271890779461034674, -6462376810564486905} {
+		inst, err := randomAbstractInstance(seed)
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		alloc, err := core.CentralizedAllocate(inst, core.CentralizedOptions{Refine: true})
+		if err != nil {
+			t.Errorf("seed %d: centralized: %v", seed, err)
+			continue
+		}
+		basic := core.BasicShares(inst)
+		for id, b := range basic {
+			if alloc[id] < b-1e-5 {
+				t.Errorf("seed %d: flow %s below basic: %g < %g", seed, id, alloc[id], b)
+			}
+		}
+		if _, err := core.DistributedAllocate(inst); err != nil {
+			t.Errorf("seed %d: distributed: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"e2efair/internal/core"
+)
+
+// TestStressRefinement hammers the refinement and distributed solver
+// across many random abstract instances; guarded by -short for quick
+// CI runs.
+func TestStressRefinement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for seed := int64(0); seed < 500; seed++ {
+		inst, err := randomAbstractInstance(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		alloc, err := core.CentralizedAllocate(inst, core.CentralizedOptions{Refine: true})
+		if err != nil {
+			t.Errorf("seed %d: centralized: %v", seed, err)
+			continue
+		}
+		plain, err := core.CentralizedAllocate(inst, core.CentralizedOptions{})
+		if err != nil {
+			t.Errorf("seed %d: plain: %v", seed, err)
+			continue
+		}
+		if d := math.Abs(alloc.TotalEffectiveThroughput() - plain.TotalEffectiveThroughput()); d > 1e-5 {
+			t.Errorf("seed %d: refinement moved optimum by %g", seed, d)
+		}
+		if _, err := core.DistributedAllocate(inst); err != nil {
+			t.Errorf("seed %d: distributed: %v", seed, err)
+		}
+	}
+}

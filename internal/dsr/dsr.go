@@ -1,0 +1,336 @@
+// Package dsr implements the route-discovery core of Dynamic Source
+// Routing, the routing protocol used in the paper's evaluation: route
+// requests (RREQ) flood the network as link-layer broadcasts,
+// accumulating the traversed node list; the target answers with a
+// route reply (RREP) source-routed back along the reversed path; the
+// originator caches the discovered route. Runs packet-accurately on
+// the MAC simulator, so discovery pays real contention, collisions and
+// flooding costs.
+package dsr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"e2efair/internal/mac"
+	"e2efair/internal/phy"
+	"e2efair/internal/sim"
+	"e2efair/internal/topology"
+)
+
+// Control frame sizes in bytes: a DSR header plus the accumulated
+// route.
+const (
+	rreqBaseBytes    = 24
+	rrepBaseBytes    = 24
+	perHopRouteBytes = 4
+)
+
+var (
+	// ErrTimeout is returned when discovery does not complete within
+	// the allotted simulated time.
+	ErrTimeout = errors.New("dsr: route discovery timed out")
+	// ErrNoPairs is returned for an empty discovery request.
+	ErrNoPairs = errors.New("dsr: no source/destination pairs")
+)
+
+// message is the DSR payload carried in mac.Packet.Meta.
+type message struct {
+	rreq   bool
+	origin topology.NodeID
+	target topology.NodeID
+	id     int64
+	route  []topology.NodeID // accumulated (RREQ) or full source route (RREP)
+}
+
+// Config parameterizes route discovery.
+type Config struct {
+	Seed int64
+	// Timeout bounds the simulated time spent discovering all pairs
+	// (default 10 s).
+	Timeout sim.Time
+	// RetryEvery re-floods unresolved requests at this period
+	// (default 1 s).
+	RetryEvery sim.Time
+	// MaxJitter delays each node's RREQ rebroadcast by a uniform
+	// random time to break flood synchronization (default 10 ms).
+	MaxJitter sim.Time
+	// BitRate is the channel capacity (default 2 Mbps).
+	BitRate int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout == 0 {
+		c.Timeout = 10 * sim.Second
+	}
+	if c.RetryEvery == 0 {
+		c.RetryEvery = sim.Second
+	}
+	if c.MaxJitter == 0 {
+		c.MaxJitter = 10 * sim.Millisecond
+	}
+	if c.BitRate == 0 {
+		c.BitRate = phy.DefaultBitsPS
+	}
+	return c
+}
+
+// Metrics reports the cost of discovery.
+type Metrics struct {
+	// Broadcasts counts RREQ (re)broadcast transmissions.
+	Broadcasts int64
+	// Replies counts RREP unicast hops.
+	Replies int64
+	// Latency maps each pair to the simulated time at which its route
+	// was first cached.
+	Latency map[[2]topology.NodeID]sim.Time
+	// Retries counts re-floods of unresolved requests.
+	Retries int64
+}
+
+// Result carries discovered routes plus discovery metrics.
+type Result struct {
+	// Routes maps (src, dst) to the discovered source route,
+	// inclusive of both endpoints.
+	Routes  map[[2]topology.NodeID][]topology.NodeID
+	Metrics *Metrics
+}
+
+// node is per-node DSR state.
+type node struct {
+	id   topology.NodeID
+	seen map[[2]int64]bool // (origin, request id) duplicate filter
+}
+
+// engine drives one discovery simulation.
+type engine struct {
+	cfg    Config
+	topo   *topology.Topology
+	eng    *sim.Engine
+	medium *mac.Medium
+	rng    *rand.Rand
+	nodes  []*node
+	want   map[[2]topology.NodeID]bool
+	res    *Result
+	nextID int64
+}
+
+// compressRoute applies DSR route shortening: whenever a later node of
+// the route is directly reachable, intermediate hops are cut. Greedy
+// farthest-reachable selection guarantees the result has no shortcuts,
+// which the allocation layer's path validation requires.
+func compressRoute(topo *topology.Topology, route []topology.NodeID) []topology.NodeID {
+	if len(route) <= 2 {
+		return route
+	}
+	out := []topology.NodeID{route[0]}
+	i := 0
+	for i < len(route)-1 {
+		next := i + 1
+		for j := len(route) - 1; j > i+1; j-- {
+			if topo.InTxRange(route[i], route[j]) {
+				next = j
+				break
+			}
+		}
+		out = append(out, route[next])
+		i = next
+	}
+	return out
+}
+
+// Discover floods RREQs for every (src, dst) pair over a dedicated
+// MAC simulation and returns the discovered routes. Pairs are
+// staggered slightly to avoid synchronized floods; unresolved pairs
+// are re-flooded every RetryEvery until Timeout.
+func Discover(topo *topology.Topology, pairs [][2]topology.NodeID, cfg Config) (*Result, error) {
+	if len(pairs) == 0 {
+		return nil, ErrNoPairs
+	}
+	cfg = cfg.withDefaults()
+	e := &engine{
+		cfg:  cfg,
+		topo: topo,
+		eng:  sim.NewEngine(),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		want: make(map[[2]topology.NodeID]bool, len(pairs)),
+		res: &Result{
+			Routes: make(map[[2]topology.NodeID][]topology.NodeID, len(pairs)),
+			Metrics: &Metrics{
+				Latency: make(map[[2]topology.NodeID]sim.Time, len(pairs)),
+			},
+		},
+	}
+	for _, p := range pairs {
+		e.want[p] = true
+	}
+	ch, err := phy.NewChannel(cfg.BitRate)
+	if err != nil {
+		return nil, err
+	}
+	hooks := mac.Hooks{
+		OnBroadcast: func(p *mac.Packet, receiver topology.NodeID, now sim.Time) {
+			e.onRREQ(p, receiver, now)
+		},
+		OnDelivered: func(p *mac.Packet, now sim.Time) {
+			e.onUnicastHop(p, now)
+		},
+	}
+	e.medium, err = mac.NewMedium(e.eng, topo, e.rng, mac.Config{Channel: ch}, hooks)
+	if err != nil {
+		return nil, err
+	}
+	e.nodes = make([]*node, topo.NumNodes())
+	for i := range e.nodes {
+		e.nodes[i] = &node{id: topology.NodeID(i), seen: make(map[[2]int64]bool)}
+		if err := e.medium.Attach(topology.NodeID(i), mac.NewFIFO(64, phy.DefaultCWMin, phy.DefaultCWMax)); err != nil {
+			return nil, err
+		}
+	}
+	// Initial floods, staggered.
+	for i, p := range pairs {
+		pair := p
+		if err := e.eng.Schedule(sim.Time(i)*3*sim.Millisecond, 1, func() { e.flood(pair) }); err != nil {
+			return nil, err
+		}
+	}
+	// Retry loop.
+	var retry func()
+	retry = func() {
+		if e.done() {
+			return
+		}
+		for pair := range e.want {
+			if _, ok := e.res.Routes[pair]; !ok {
+				e.res.Metrics.Retries++
+				e.flood(pair)
+			}
+		}
+		_ = e.eng.After(cfg.RetryEvery, 1, retry)
+	}
+	_ = e.eng.After(cfg.RetryEvery, 1, retry)
+
+	e.eng.Run(cfg.Timeout)
+	if !e.done() {
+		var missing [][2]topology.NodeID
+		for pair := range e.want {
+			if _, ok := e.res.Routes[pair]; !ok {
+				missing = append(missing, pair)
+			}
+		}
+		return e.res, fmt.Errorf("%w: %d of %d pairs unresolved (%v)", ErrTimeout, len(missing), len(pairs), missing)
+	}
+	return e.res, nil
+}
+
+func (e *engine) done() bool {
+	for pair := range e.want {
+		if _, ok := e.res.Routes[pair]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// flood originates a new RREQ for the pair.
+func (e *engine) flood(pair [2]topology.NodeID) {
+	if _, ok := e.res.Routes[pair]; ok {
+		return
+	}
+	e.nextID++
+	msg := &message{
+		rreq:   true,
+		origin: pair[0],
+		target: pair[1],
+		id:     e.nextID,
+		route:  []topology.NodeID{pair[0]},
+	}
+	e.broadcast(pair[0], msg)
+}
+
+// broadcast queues an RREQ frame at the given node.
+func (e *engine) broadcast(from topology.NodeID, msg *message) {
+	p := &mac.Packet{
+		Flow:         "dsr-rreq",
+		Seq:          msg.id,
+		Path:         []topology.NodeID{from},
+		PayloadBytes: rreqBaseBytes + perHopRouteBytes*len(msg.route),
+		Broadcast:    true,
+		Meta:         msg,
+		Born:         e.eng.Now(),
+	}
+	if ok, err := e.medium.Inject(p); err == nil && ok {
+		e.res.Metrics.Broadcasts++
+	}
+}
+
+// onRREQ handles reception of a flooded request at one node.
+func (e *engine) onRREQ(p *mac.Packet, receiver topology.NodeID, now sim.Time) {
+	msg, ok := p.Meta.(*message)
+	if !ok || !msg.rreq {
+		return
+	}
+	st := e.nodes[receiver]
+	key := [2]int64{int64(msg.origin), msg.id}
+	if st.seen[key] || msg.origin == receiver {
+		return
+	}
+	st.seen[key] = true
+	// Nodes already on the accumulated route never rejoin (loop
+	// freedom).
+	for _, n := range msg.route {
+		if n == receiver {
+			return
+		}
+	}
+	route := append(append([]topology.NodeID(nil), msg.route...), receiver)
+	if receiver == msg.target {
+		e.reply(msg, route)
+		return
+	}
+	fwd := &message{rreq: true, origin: msg.origin, target: msg.target, id: msg.id, route: route}
+	jitter := sim.Time(e.rng.Int63n(int64(e.cfg.MaxJitter) + 1))
+	_ = e.eng.After(jitter, 1, func() { e.broadcast(receiver, fwd) })
+}
+
+// reply sends the RREP source-routed back along the reversed
+// discovered route.
+func (e *engine) reply(req *message, route []topology.NodeID) {
+	rev := make([]topology.NodeID, len(route))
+	for i := range route {
+		rev[i] = route[len(route)-1-i]
+	}
+	msg := &message{origin: req.origin, target: req.target, id: req.id, route: route}
+	p := &mac.Packet{
+		Flow:         "dsr-rrep",
+		Seq:          req.id,
+		Path:         rev,
+		PayloadBytes: rrepBaseBytes + perHopRouteBytes*len(route),
+		Meta:         msg,
+		Born:         e.eng.Now(),
+	}
+	_, _ = e.medium.Inject(p)
+}
+
+// onUnicastHop advances RREPs hop by hop and caches the route at the
+// originator.
+func (e *engine) onUnicastHop(p *mac.Packet, now sim.Time) {
+	msg, ok := p.Meta.(*message)
+	if !ok || msg.rreq {
+		return
+	}
+	e.res.Metrics.Replies++
+	if !p.LastHop() {
+		p.Hop++
+		_, _ = e.medium.Inject(p)
+		return
+	}
+	pair := [2]topology.NodeID{msg.origin, msg.target}
+	if _, exists := e.res.Routes[pair]; !exists && e.want[pair] {
+		routeCopy := make([]topology.NodeID, len(msg.route))
+		copy(routeCopy, msg.route)
+		e.res.Routes[pair] = compressRoute(e.topo, routeCopy)
+		e.res.Metrics.Latency[pair] = now
+	}
+}

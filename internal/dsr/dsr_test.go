@@ -1,0 +1,184 @@
+package dsr_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"e2efair/internal/dsr"
+	"e2efair/internal/routing"
+	"e2efair/internal/topology"
+)
+
+func lineTopo(t *testing.T, n int) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder(topology.DefaultRange, 0)
+	for i := 0; i < n; i++ {
+		b.Add(string(rune('A'+i)), float64(i)*200, 0)
+	}
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestDiscoverLine(t *testing.T) {
+	topo := lineTopo(t, 6)
+	pairs := [][2]topology.NodeID{{0, 5}}
+	res, err := dsr.Discover(topo, pairs, dsr.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := res.Routes[pairs[0]]
+	if len(route) == 0 {
+		t.Fatal("no route discovered")
+	}
+	if route[0] != 0 || route[len(route)-1] != 5 {
+		t.Fatalf("route endpoints wrong: %v", route)
+	}
+	if err := routing.ValidatePath(topo, route); err != nil {
+		t.Errorf("discovered route invalid: %v", err)
+	}
+	// On a line there is exactly one loop-free route: the shortest.
+	if len(route) != 6 {
+		t.Errorf("route %v should have 5 hops", route)
+	}
+	if res.Metrics.Broadcasts == 0 || res.Metrics.Replies == 0 {
+		t.Errorf("metrics empty: %+v", res.Metrics)
+	}
+	if lat := res.Metrics.Latency[pairs[0]]; lat <= 0 {
+		t.Errorf("latency = %d", lat)
+	}
+}
+
+func TestDiscoverNoPairs(t *testing.T) {
+	topo := lineTopo(t, 2)
+	if _, err := dsr.Discover(topo, nil, dsr.Config{}); !errors.Is(err, dsr.ErrNoPairs) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDiscoverUnreachable(t *testing.T) {
+	b := topology.NewBuilder(250, 0)
+	b.Add("A", 0, 0).Add("B", 5000, 0)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dsr.Discover(topo, [][2]topology.NodeID{{0, 1}}, dsr.Config{Seed: 1, Timeout: 500000})
+	if !errors.Is(err, dsr.ErrTimeout) {
+		t.Errorf("err = %v, want timeout", err)
+	}
+}
+
+func TestDiscoverMultiplePairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	topo, err := topology.Random(topology.RandomConfig{
+		Nodes: 25, Width: 900, Height: 900, Connect: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := routing.BuildTable(topo)
+	var pairs [][2]topology.NodeID
+	for i := 0; len(pairs) < 4 && i < 200; i++ {
+		src := topology.NodeID(rng.Intn(topo.NumNodes()))
+		dst := topology.NodeID(rng.Intn(topo.NumNodes()))
+		if src == dst {
+			continue
+		}
+		if _, err := tbl.Route(src, dst); err != nil {
+			continue
+		}
+		pairs = append(pairs, [2]topology.NodeID{src, dst})
+	}
+	res, err := dsr.Discover(topo, pairs, dsr.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range pairs {
+		route := res.Routes[pair]
+		if len(route) == 0 {
+			t.Errorf("pair %v unresolved", pair)
+			continue
+		}
+		if route[0] != pair[0] || route[len(route)-1] != pair[1] {
+			t.Errorf("pair %v: endpoints %v", pair, route)
+		}
+		// Every consecutive pair must be a link; loop freedom.
+		seen := map[topology.NodeID]bool{}
+		for i, n := range route {
+			if seen[n] {
+				t.Errorf("pair %v: loop at %d in %v", pair, n, route)
+			}
+			seen[n] = true
+			if i+1 < len(route) && !topo.InTxRange(route[i], route[i+1]) {
+				t.Errorf("pair %v: hop %d not a link", pair, i)
+			}
+		}
+		// DSR finds near-shortest routes; allow a small detour.
+		direct, err := tbl.Route(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(route) > len(direct)+2 {
+			t.Errorf("pair %v: route %d hops vs shortest %d", pair, len(route)-1, len(direct)-1)
+		}
+	}
+}
+
+func TestDiscoverDeterministic(t *testing.T) {
+	topo := lineTopo(t, 5)
+	pairs := [][2]topology.NodeID{{0, 4}}
+	r1, err := dsr.Discover(topo, pairs, dsr.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := dsr.Discover(topo, pairs, dsr.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Metrics.Broadcasts != r2.Metrics.Broadcasts ||
+		r1.Metrics.Latency[pairs[0]] != r2.Metrics.Latency[pairs[0]] {
+		t.Error("discovery not deterministic under equal seeds")
+	}
+}
+
+func TestFloodScalesWithNetwork(t *testing.T) {
+	// Every node rebroadcasts a given RREQ at most once, so the
+	// number of broadcasts for one discovery is bounded by the node
+	// count (plus retries).
+	topo := lineTopo(t, 8)
+	res, err := dsr.Discover(topo, [][2]topology.NodeID{{0, 7}}, dsr.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFlood := int64(topo.NumNodes())
+	if res.Metrics.Broadcasts > perFlood*(res.Metrics.Retries+1) {
+		t.Errorf("broadcasts %d exceed %d per flood", res.Metrics.Broadcasts, perFlood)
+	}
+}
+
+func TestRouteShortening(t *testing.T) {
+	// A dense cluster where floods can pick up detours: the returned
+	// routes must be shortcut-free (required by path validation).
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 5; trial++ {
+		topo, err := topology.Random(topology.RandomConfig{
+			Nodes: 20, Width: 700, Height: 700, Connect: true,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := [][2]topology.NodeID{{0, topology.NodeID(topo.NumNodes() - 1)}}
+		res, err := dsr.Discover(topo, pairs, dsr.Config{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		route := res.Routes[pairs[0]]
+		if err := routing.ValidatePath(topo, route); err != nil {
+			t.Errorf("trial %d: discovered route %v invalid: %v", trial, route, err)
+		}
+	}
+}

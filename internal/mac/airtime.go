@@ -1,0 +1,88 @@
+package mac
+
+import (
+	"e2efair/internal/sim"
+	"e2efair/internal/topology"
+)
+
+// AirtimeReport accounts for how the channel's time was spent, the
+// basis of the paper's "aggregate channel utilization" view of spatial
+// reuse (Sec. II-B): concurrent exchanges in disjoint regions both
+// count, so TxTime can exceed the wall-clock duration in a network
+// with spatial reuse.
+type AirtimeReport struct {
+	// Duration is the observed interval.
+	Duration sim.Time
+	// TxTime sums the durations of successful exchanges across all
+	// senders.
+	TxTime sim.Time
+	// CollisionTime sums the airtime charged to failed floor
+	// acquisitions.
+	CollisionTime sim.Time
+	// Exchanges counts successful floor acquisitions.
+	Exchanges int64
+	// Collisions counts failed ones.
+	Collisions int64
+	// PerNodeTx sums each node's time spent sending data exchanges.
+	PerNodeTx map[topology.NodeID]sim.Time
+}
+
+// Utilization returns TxTime normalized by duration: the average
+// number of concurrently active exchanges, ≥ 1 possible under spatial
+// reuse.
+func (r *AirtimeReport) Utilization() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.TxTime) / float64(r.Duration)
+}
+
+// CollisionOverhead returns the fraction of the observed interval
+// charged to failed acquisitions (again summed over space).
+func (r *AirtimeReport) CollisionOverhead() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.CollisionTime) / float64(r.Duration)
+}
+
+// airtime is the medium's internal accumulator.
+type airtime struct {
+	txTime        sim.Time
+	collisionTime sim.Time
+	exchanges     int64
+	collisions    int64
+	perNodeTx     map[topology.NodeID]sim.Time
+}
+
+func newAirtime() *airtime {
+	return &airtime{perNodeTx: make(map[topology.NodeID]sim.Time)}
+}
+
+func (a *airtime) addExchange(sender topology.NodeID, dur sim.Time) {
+	a.txTime += dur
+	a.exchanges++
+	a.perNodeTx[sender] += dur
+}
+
+func (a *airtime) addCollision(dur sim.Time) {
+	a.collisionTime += dur
+	a.collisions++
+}
+
+// Airtime snapshots the medium's airtime accounting since its
+// creation, evaluated at the engine's current time.
+func (m *Medium) Airtime() *AirtimeReport {
+	rep := &AirtimeReport{
+		Duration:      m.eng.Now(),
+		TxTime:        m.air.txTime,
+		CollisionTime: m.air.collisionTime,
+		Exchanges:     m.air.exchanges,
+		Collisions:    m.air.collisions,
+		PerNodeTx:     make(map[topology.NodeID]sim.Time, len(m.air.perNodeTx)),
+	}
+	for id, t := range m.air.perNodeTx {
+		rep.PerNodeTx[id] = t
+	}
+	return rep
+}

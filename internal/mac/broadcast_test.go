@@ -1,0 +1,230 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+
+	"e2efair/internal/flow"
+	"e2efair/internal/sim"
+	"e2efair/internal/topology"
+)
+
+// broadcastRig extends the test rig with broadcast reception capture.
+type broadcastRig struct {
+	*rig
+	received map[topology.NodeID]int
+}
+
+func newBroadcastRig(t *testing.T, build func(b *topology.Builder)) *broadcastRig {
+	t.Helper()
+	base := newRig(t, build)
+	br := &broadcastRig{rig: base, received: make(map[topology.NodeID]int)}
+	// Rebuild the medium with a broadcast hook.
+	hooks := Hooks{
+		OnDelivered: func(p *Packet, _ sim.Time) { br.delivered[p.SubflowID()]++ },
+		OnBroadcast: func(_ *Packet, receiver topology.NodeID, _ sim.Time) {
+			br.received[receiver]++
+		},
+		OnCollision: func(_ topology.NodeID, _ sim.Time) { br.collision++ },
+	}
+	m, err := NewMedium(base.eng, base.topo, rand.New(rand.NewSource(1)), Config{}, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.medium = m
+	return br
+}
+
+func bcast(from topology.NodeID, seq int64) *Packet {
+	return &Packet{
+		Flow:         "bc",
+		Seq:          seq,
+		Path:         []topology.NodeID{from},
+		PayloadBytes: 64,
+		Broadcast:    true,
+	}
+}
+
+func TestBroadcastReachesIdleNeighbors(t *testing.T) {
+	r := newBroadcastRig(t, func(b *topology.Builder) {
+		b.Add("A", 0, 0).Add("B", 200, 0).Add("C", 100, 150).Add("D", 5000, 0)
+	})
+	r.fifoAll()
+	if ok, err := r.medium.Inject(bcast(0, 0)); err != nil || !ok {
+		t.Fatalf("inject: %v %v", ok, err)
+	}
+	r.eng.Run(sim.Second)
+	if r.received[1] != 1 || r.received[2] != 1 {
+		t.Errorf("in-range nodes: B=%d C=%d, want 1 each", r.received[1], r.received[2])
+	}
+	if r.received[3] != 0 {
+		t.Errorf("far node D received %d", r.received[3])
+	}
+	if r.received[0] != 0 {
+		t.Errorf("sender received its own broadcast %d times", r.received[0])
+	}
+}
+
+func TestBroadcastPacketAccessors(t *testing.T) {
+	p := bcast(3, 7)
+	if p.Receiver() != -1 {
+		t.Errorf("broadcast receiver = %d, want -1", p.Receiver())
+	}
+	if !p.LastHop() {
+		t.Error("broadcast is its own last hop")
+	}
+	if p.Transmitter() != 3 {
+		t.Errorf("transmitter = %d", p.Transmitter())
+	}
+}
+
+func TestSimultaneousBroadcastsJamSharedNeighbors(t *testing.T) {
+	// A and C both broadcast; B hears both and must receive neither
+	// when their frames collide in the same slot. Statistically over
+	// many rounds, B receives fewer frames than were sent.
+	r := newBroadcastRig(t, func(b *topology.Builder) {
+		b.Add("A", 0, 0).Add("B", 200, 0).Add("C", 400, 0)
+	})
+	r.fifoAll()
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		if ok, err := r.medium.Inject(bcast(0, int64(i))); err != nil || !ok {
+			break
+		}
+		if ok, err := r.medium.Inject(bcast(2, int64(i))); err != nil || !ok {
+			break
+		}
+	}
+	r.eng.Run(60 * sim.Second)
+	sent := 2 * 50 // queue capacity bounds accepted frames per sender
+	if r.received[1] == 0 {
+		t.Fatal("B received nothing")
+	}
+	if r.received[1] > sent {
+		t.Errorf("B received %d of at most %d", r.received[1], sent)
+	}
+}
+
+func TestBroadcastDoesNotDisturbUnicastAccounting(t *testing.T) {
+	r := newBroadcastRig(t, func(b *topology.Builder) {
+		b.Add("A", 0, 0).Add("B", 200, 0)
+	})
+	r.fifoAll()
+	if ok, _ := r.medium.Inject(bcast(0, 0)); !ok {
+		t.Fatal("broadcast rejected")
+	}
+	p := &Packet{Flow: "F1", Seq: 0, Path: []topology.NodeID{0, 1}, PayloadBytes: 512}
+	if ok, _ := r.medium.Inject(p); !ok {
+		t.Fatal("unicast rejected")
+	}
+	r.eng.Run(sim.Second)
+	if r.delivered[flow.SubflowID{Flow: "F1", Hop: 0}] != 1 {
+		t.Error("unicast not delivered alongside broadcast")
+	}
+	if r.received[1] != 1 {
+		t.Error("broadcast not delivered alongside unicast")
+	}
+	air := r.medium.Airtime()
+	if air.Exchanges != 2 {
+		t.Errorf("airtime exchanges = %d, want 2 (one unicast, one broadcast)", air.Exchanges)
+	}
+}
+
+func TestDFSScheduler(t *testing.T) {
+	d, err := NewDFS(DFSConfig{Capacity: 4, BitsPerMicro: 2, CWMin: 31, CWMax: 1023})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := flow.SubflowID{Flow: "F1", Hop: 0}
+	if err := d.AddSubflow(id, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSubflow(id, 0.25); err == nil {
+		t.Error("duplicate subflow should fail")
+	}
+	if d.Enqueue(pkt("F9", 0, 0), 0) {
+		t.Error("unknown subflow accepted")
+	}
+	for i := 0; i < 4; i++ {
+		if !d.Enqueue(pkt("F1", 0, int64(i)), 0) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	if d.Enqueue(pkt("F1", 0, 9), 0) {
+		t.Error("overflow accepted")
+	}
+	if d.Backlog() != 4 {
+		t.Errorf("backlog = %d", d.Backlog())
+	}
+	head := d.Head(0)
+	if head == nil || head.Seq != 0 {
+		t.Fatalf("head = %v", head)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// First-attempt backoff is share-scaled and never zero.
+	for i := 0; i < 50; i++ {
+		b := d.DrawBackoff(rng, 0, 0)
+		if b < 1 || b > 1023 {
+			t.Fatalf("backoff %d out of range", b)
+		}
+	}
+	// Retry falls back to BEB.
+	if b := d.DrawBackoff(rng, 3, 0); b > 255 {
+		t.Errorf("retry backoff %d exceeds BEB window", b)
+	}
+	d.OnSuccess(head, 0, 0)
+	if d.Head(0).Seq != 1 {
+		t.Error("queue did not advance")
+	}
+	d.OnDrop(d.Head(0), 0)
+	if d.Head(0).Seq != 2 {
+		t.Error("drop did not advance")
+	}
+	// Smaller share ⇒ larger typical backoff.
+	d2, _ := NewDFS(DFSConfig{Capacity: 4, BitsPerMicro: 2, CWMin: 31, CWMax: 1023})
+	low := flow.SubflowID{Flow: "F2", Hop: 0}
+	_ = d2.AddSubflow(low, 0.05)
+	d2.Enqueue(&Packet{Flow: "F2", Path: []topology.NodeID{0, 1}, PayloadBytes: 512}, 0)
+	var sumLow, sumHigh int
+	for i := 0; i < 100; i++ {
+		sumLow += d2.DrawBackoff(rng, 0, 0)
+		sumHigh += d.DrawBackoff(rng, 0, 0)
+	}
+	if sumLow <= sumHigh {
+		t.Errorf("low-share backoff sum %d should exceed high-share %d", sumLow, sumHigh)
+	}
+	if _, ok := d.CurrentTag(); ok {
+		t.Error("DFS reports no tags")
+	}
+	if d.Advise(1, 0) != 0 {
+		t.Error("DFS gives no advice")
+	}
+}
+
+func TestDFSConfigValidation(t *testing.T) {
+	if _, err := NewDFS(DFSConfig{Capacity: 0, BitsPerMicro: 2}); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := NewDFS(DFSConfig{Capacity: 1, BitsPerMicro: 0}); err == nil {
+		t.Error("zero rate should fail")
+	}
+}
+
+func TestAirtimeUtilizationSingleLink(t *testing.T) {
+	r := newRig(t, func(b *topology.Builder) {
+		b.Add("A", 0, 0).Add("B", 200, 0)
+	})
+	r.fifoCap(5000)
+	r.saturate("F1", []topology.NodeID{0, 1}, 5000)
+	r.eng.Run(10 * sim.Second)
+	air := r.medium.Airtime()
+	u := air.Utilization()
+	// A saturated single link keeps the channel mostly busy but can
+	// never exceed one concurrent exchange.
+	if u < 0.5 || u > 1.0 {
+		t.Errorf("single-link utilization = %.3f", u)
+	}
+	if air.PerNodeTx[0] != air.TxTime {
+		t.Errorf("per-node accounting: %d vs total %d", air.PerNodeTx[0], air.TxTime)
+	}
+}

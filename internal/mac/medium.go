@@ -1,0 +1,520 @@
+package mac
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"e2efair/internal/phy"
+	"e2efair/internal/sim"
+	"e2efair/internal/topology"
+)
+
+// Event phases within one instant: transmissions finish before new
+// attempts fire, and attempts all register before the slot resolves.
+const (
+	phaseTxEnd   sim.Phase = 0
+	phaseInject  sim.Phase = 1
+	phaseAttempt sim.Phase = 2
+	phaseResolve sim.Phase = 3
+)
+
+// ErrNoScheduler is returned when a node transmits without an attached
+// scheduler.
+var ErrNoScheduler = errors.New("mac: node has no scheduler")
+
+// Hooks are the callbacks through which the harness observes MAC
+// outcomes.
+type Hooks struct {
+	// OnDelivered fires when a data packet completes one hop. The
+	// harness forwards it (or records final delivery).
+	OnDelivered func(p *Packet, now sim.Time)
+	// OnRetryDrop fires when the MAC abandons a packet after the
+	// retry limit.
+	OnRetryDrop func(p *Packet, now sim.Time)
+	// OnCollision fires for every failed floor acquisition (collision
+	// or unreachable receiver).
+	OnCollision func(node topology.NodeID, now sim.Time)
+	// OnBroadcast fires once per node that successfully receives a
+	// broadcast frame.
+	OnBroadcast func(p *Packet, receiver topology.NodeID, now sim.Time)
+}
+
+// TraceKind classifies trace events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TraceExchangeStart TraceKind = iota + 1
+	TraceExchangeEnd
+	TraceBroadcast
+	TraceCollision
+	TraceDrop
+)
+
+// TraceEvent is one MAC-level occurrence, for ns-2-style tracing.
+type TraceEvent struct {
+	Kind TraceKind
+	At   sim.Time
+	Node topology.NodeID // transmitter (or dropping node)
+	Peer topology.NodeID // receiver; -1 for broadcasts/collisions
+	Pkt  *Packet
+}
+
+// Tracer consumes MAC trace events.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// Config parameterizes the medium.
+type Config struct {
+	Channel    *phy.Channel
+	RetryLimit int // floor-acquisition attempts before drop; default phy.DefaultRetryLimit
+	// Tracer, when set, receives every MAC-level event.
+	Tracer Tracer
+}
+
+// Medium simulates the shared wireless channel: it tracks carrier
+// sense and NAV state per node, resolves same-slot contention, and
+// carries out RTS-CTS-DATA-ACK exchanges that occupy the interference
+// region of both endpoints.
+type Medium struct {
+	eng        *sim.Engine
+	topo       *topology.Topology
+	ch         *phy.Channel
+	rng        *rand.Rand
+	hooks      Hooks
+	retryLimit int
+
+	nodes      []*nodeMAC
+	interferes [][]bool
+	inRange    [][]bool
+	tracer     Tracer
+
+	attempts         []*nodeMAC
+	resolveScheduled bool
+	air              *airtime
+}
+
+// nodeMAC is the per-node MAC state machine.
+type nodeMAC struct {
+	id    topology.NodeID
+	sched Scheduler
+
+	pending    *Packet
+	backoff    int
+	retries    int
+	counting   bool
+	countStart sim.Time
+	attemptSeq uint64
+	busyUntil  sim.Time
+	inExchange bool
+}
+
+// NewMedium builds the medium over a topology.
+func NewMedium(eng *sim.Engine, topo *topology.Topology, rng *rand.Rand, cfg Config, hooks Hooks) (*Medium, error) {
+	if cfg.Channel == nil {
+		var err error
+		cfg.Channel, err = phy.NewChannel(0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.RetryLimit <= 0 {
+		cfg.RetryLimit = phy.DefaultRetryLimit
+	}
+	n := topo.NumNodes()
+	m := &Medium{
+		eng:        eng,
+		topo:       topo,
+		ch:         cfg.Channel,
+		rng:        rng,
+		hooks:      hooks,
+		retryLimit: cfg.RetryLimit,
+		tracer:     cfg.Tracer,
+		nodes:      make([]*nodeMAC, n),
+		interferes: make([][]bool, n),
+		inRange:    make([][]bool, n),
+		air:        newAirtime(),
+	}
+	for i := 0; i < n; i++ {
+		m.nodes[i] = &nodeMAC{id: topology.NodeID(i)}
+		m.interferes[i] = make([]bool, n)
+		m.inRange[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			m.interferes[i][j] = topo.InInterferenceRange(topology.NodeID(i), topology.NodeID(j))
+			m.inRange[i][j] = topo.InTxRange(topology.NodeID(i), topology.NodeID(j))
+		}
+	}
+	return m, nil
+}
+
+// Channel returns the medium's channel model.
+func (m *Medium) Channel() *phy.Channel { return m.ch }
+
+// Attach installs a node's packet scheduler.
+func (m *Medium) Attach(node topology.NodeID, s Scheduler) error {
+	if int(node) < 0 || int(node) >= len(m.nodes) {
+		return fmt.Errorf("mac: attach: unknown node %d", node)
+	}
+	m.nodes[node].sched = s
+	return nil
+}
+
+// SchedulerAt returns the scheduler attached to a node.
+func (m *Medium) SchedulerAt(node topology.NodeID) Scheduler {
+	if int(node) < 0 || int(node) >= len(m.nodes) {
+		return nil
+	}
+	return m.nodes[node].sched
+}
+
+// Inject offers a packet to its current transmitter's queues. It
+// returns false when the node's scheduler drops it (full queue).
+func (m *Medium) Inject(p *Packet) (bool, error) {
+	n := m.nodes[p.Transmitter()]
+	if n.sched == nil {
+		return false, fmt.Errorf("%w: %s", ErrNoScheduler, m.topo.Name(n.id))
+	}
+	if !n.sched.Enqueue(p, m.eng.Now()) {
+		return false, nil
+	}
+	m.kick(n)
+	return true, nil
+}
+
+// kick starts contention for a node that may have become ready.
+func (m *Medium) kick(n *nodeMAC) {
+	if n.sched == nil || n.pending != nil || n.inExchange {
+		return
+	}
+	p := n.sched.Head(m.eng.Now())
+	if p == nil {
+		return
+	}
+	n.pending = p
+	n.retries = 0
+	n.backoff = n.sched.DrawBackoff(m.rng, 0, m.eng.Now())
+	m.scheduleAttempt(n)
+}
+
+// scheduleAttempt arms the node's backoff countdown assuming the
+// medium stays in its current state; freezes invalidate it via
+// attemptSeq.
+func (m *Medium) scheduleAttempt(n *nodeMAC) {
+	now := m.eng.Now()
+	start := now
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	start += phy.DIFS
+	expiry := start + sim.Time(n.backoff)*phy.SlotTime
+	n.countStart = start
+	n.counting = true
+	n.attemptSeq++
+	seq := n.attemptSeq
+	// Scheduling in the future from a valid now cannot fail.
+	_ = m.eng.Schedule(expiry, phaseAttempt, func() { m.attempt(n, seq) })
+}
+
+// freeze pauses a counting node's backoff and extends its busy window.
+func (m *Medium) freeze(n *nodeMAC, until sim.Time) {
+	now := m.eng.Now()
+	if n.counting {
+		if now > n.countStart {
+			elapsed := int((now - n.countStart) / phy.SlotTime)
+			n.backoff -= elapsed
+			if n.backoff < 0 {
+				n.backoff = 0
+			}
+		}
+		n.counting = false
+		n.attemptSeq++
+	}
+	if until > n.busyUntil {
+		n.busyUntil = until
+	}
+}
+
+// attempt fires when a node's backoff expires; stale attempts are
+// ignored.
+func (m *Medium) attempt(n *nodeMAC, seq uint64) {
+	if seq != n.attemptSeq || n.pending == nil || n.inExchange {
+		return
+	}
+	now := m.eng.Now()
+	if now < n.busyUntil {
+		// The medium went busy between scheduling and firing;
+		// re-arm from the busy horizon.
+		m.scheduleAttempt(n)
+		return
+	}
+	n.counting = false
+	m.attempts = append(m.attempts, n)
+	if !m.resolveScheduled {
+		m.resolveScheduled = true
+		_ = m.eng.Schedule(now, phaseResolve, m.resolve)
+	}
+}
+
+// resolve adjudicates all floor-acquisition attempts of this instant:
+// a unicast attempt succeeds when its receiver is idle and no other
+// simultaneous transmission lands within the receiver's interference
+// range; broadcast frames always go on the air, with reception decided
+// per neighbor.
+func (m *Medium) resolve() {
+	now := m.eng.Now()
+	atts := m.attempts
+	m.attempts = nil
+	m.resolveScheduled = false
+
+	type outcome struct {
+		n  *nodeMAC
+		rx *nodeMAC // nil for broadcast
+		ok bool
+	}
+	var live []*nodeMAC
+	for _, n := range atts {
+		if n.pending != nil && !n.inExchange {
+			live = append(live, n)
+		}
+	}
+	outs := make([]outcome, 0, len(live))
+	for _, n := range live {
+		if n.pending.Broadcast {
+			outs = append(outs, outcome{n: n, ok: true})
+			continue
+		}
+		rx := m.nodes[n.pending.Receiver()]
+		ok := !rx.inExchange && rx.busyUntil <= now
+		if ok {
+			for _, other := range live {
+				if other == n {
+					continue
+				}
+				// A concurrent frame from `other` jams our receiver if
+				// it is within interference range, or if the receiver
+				// itself is attempting (transmitting, hence deaf).
+				if other == rx || m.interferes[other.id][rx.id] {
+					ok = false
+					break
+				}
+			}
+		}
+		outs = append(outs, outcome{n: n, rx: rx, ok: ok})
+	}
+	// Successes claim the floor first so that failures re-arm against
+	// the updated busy state. Broadcast receptions are computed before
+	// new exchanges change node states.
+	for _, o := range outs {
+		if o.ok && o.rx == nil {
+			m.beginBroadcast(o.n, live)
+		}
+	}
+	for _, o := range outs {
+		if o.ok && o.rx != nil {
+			m.beginExchange(o.n, o.rx)
+		}
+	}
+	anyFail := false
+	for _, o := range outs {
+		if o.ok {
+			continue
+		}
+		anyFail = true
+		m.failAttempt(o.n)
+	}
+	if anyFail {
+		// Failed RTS frames occupied the air near their senders;
+		// rescan once that clears.
+		_ = m.eng.Schedule(now+m.ch.CollisionTime(), phaseTxEnd, m.rescan)
+	}
+}
+
+// beginBroadcast transmits a broadcast frame: no RTS/CTS, no ACK. A
+// neighbor receives it when it is idle and no other simultaneous
+// transmitter interferes at it.
+func (m *Medium) beginBroadcast(n *nodeMAC, attempters []*nodeMAC) {
+	now := m.eng.Now()
+	p := n.pending
+	dur := m.ch.DataTime(p.PayloadBytes)
+	end := now + dur
+	m.air.addExchange(n.id, dur)
+
+	var receivers []*nodeMAC
+	for i := range m.nodes {
+		w := m.nodes[i]
+		if w == n || !m.inRange[n.id][w.id] {
+			continue
+		}
+		if w.inExchange || w.busyUntil > now {
+			continue
+		}
+		jammed := false
+		for _, a := range attempters {
+			if a == n || a == w {
+				if a == w {
+					jammed = true // the neighbor is transmitting itself
+					break
+				}
+				continue
+			}
+			if m.interferes[a.id][w.id] {
+				jammed = true
+				break
+			}
+		}
+		if !jammed {
+			receivers = append(receivers, w)
+		}
+	}
+
+	n.inExchange = true
+	n.counting = false
+	n.attemptSeq++
+	m.trace(TraceEvent{Kind: TraceBroadcast, At: now, Node: n.id, Peer: -1, Pkt: p})
+	for i := range m.nodes {
+		w := m.nodes[i]
+		if w == n || m.interferes[n.id][w.id] {
+			m.freeze(w, end)
+		}
+	}
+	_ = m.eng.Schedule(end, phaseTxEnd, func() { m.finishBroadcast(n, p, receivers) })
+}
+
+// finishBroadcast completes a broadcast transmission and delivers the
+// frame to each receiver.
+func (m *Medium) finishBroadcast(n *nodeMAC, p *Packet, receivers []*nodeMAC) {
+	now := m.eng.Now()
+	n.inExchange = false
+	n.sched.OnSuccess(p, 0, now)
+	n.pending = nil
+	n.retries = 0
+	if m.hooks.OnBroadcast != nil {
+		for _, w := range receivers {
+			m.hooks.OnBroadcast(p, w.id, now)
+		}
+	}
+	m.rescan()
+}
+
+// failAttempt charges a failed floor acquisition: the RTS occupies the
+// sender's interference region, and the packet is retried or dropped.
+func (m *Medium) failAttempt(n *nodeMAC) {
+	now := m.eng.Now()
+	clear := now + m.ch.CollisionTime()
+	m.air.addCollision(m.ch.CollisionTime())
+	for i := range m.nodes {
+		w := m.nodes[i]
+		if w == n || m.interferes[n.id][w.id] {
+			m.freeze(w, clear)
+		}
+	}
+	if m.hooks.OnCollision != nil {
+		m.hooks.OnCollision(n.id, now)
+	}
+	m.trace(TraceEvent{Kind: TraceCollision, At: now, Node: n.id, Peer: -1, Pkt: n.pending})
+	n.retries++
+	if n.retries > m.retryLimit {
+		p := n.pending
+		n.sched.OnDrop(p, now)
+		n.pending = nil
+		n.retries = 0
+		if m.hooks.OnRetryDrop != nil {
+			m.hooks.OnRetryDrop(p, now)
+		}
+		m.trace(TraceEvent{Kind: TraceDrop, At: now, Node: n.id, Peer: -1, Pkt: p})
+		m.kick(n)
+		return
+	}
+	n.backoff = n.sched.DrawBackoff(m.rng, n.retries, now)
+	m.scheduleAttempt(n)
+}
+
+// beginExchange starts a successful RTS-CTS-DATA-ACK exchange,
+// occupying the interference regions of both endpoints for its
+// duration and letting neighbors overhear the piggybacked service tag.
+func (m *Medium) beginExchange(n, rx *nodeMAC) {
+	now := m.eng.Now()
+	p := n.pending
+	dur := m.ch.ExchangeTime(p.PayloadBytes)
+	end := now + dur
+	m.air.addExchange(n.id, dur)
+	n.inExchange = true
+	rx.inExchange = true
+	n.counting = false
+	n.attemptSeq++
+
+	m.trace(TraceEvent{Kind: TraceExchangeStart, At: now, Node: n.id, Peer: rx.id, Pkt: p})
+	tag, hasTag := n.sched.CurrentTag()
+	for i := range m.nodes {
+		w := m.nodes[i]
+		if w == n || w == rx || m.interferes[n.id][w.id] || m.interferes[rx.id][w.id] {
+			m.freeze(w, end)
+		}
+		if hasTag && w != n && w.sched != nil && (m.inRange[n.id][w.id] || m.inRange[rx.id][w.id] || w == rx) {
+			w.sched.Observe(n.id, tag, now)
+		}
+	}
+	_ = m.eng.Schedule(end, phaseTxEnd, func() { m.finishExchange(n, rx, p) })
+}
+
+// finishExchange completes an exchange: the ACK delivers the
+// receiver's backoff advice, the packet advances a hop, and idle
+// nodes re-arm.
+func (m *Medium) finishExchange(n, rx *nodeMAC, p *Packet) {
+	now := m.eng.Now()
+	n.inExchange = false
+	rx.inExchange = false
+	advice := 0.0
+	if rx.sched != nil {
+		advice = rx.sched.Advise(n.id, now)
+	}
+	n.sched.OnSuccess(p, advice, now)
+	n.pending = nil
+	n.retries = 0
+	m.trace(TraceEvent{Kind: TraceExchangeEnd, At: now, Node: n.id, Peer: rx.id, Pkt: p})
+	if m.hooks.OnDelivered != nil {
+		m.hooks.OnDelivered(p, now)
+	}
+	m.rescan()
+}
+
+// trace emits ev to the configured tracer, if any.
+func (m *Medium) trace(ev TraceEvent) {
+	if m.tracer != nil {
+		m.tracer.Trace(ev)
+	}
+}
+
+// rescan re-arms every node that is ready to contend and idle.
+func (m *Medium) rescan() {
+	now := m.eng.Now()
+	for _, w := range m.nodes {
+		if w.sched == nil || w.inExchange {
+			continue
+		}
+		if w.pending == nil {
+			m.kick(w)
+			continue
+		}
+		if !w.counting && now >= w.busyUntil {
+			m.scheduleAttempt(w)
+		}
+	}
+}
+
+// Backlog returns the total queued packets across all nodes, for
+// tests.
+func (m *Medium) Backlog() int {
+	total := 0
+	for _, n := range m.nodes {
+		if n.sched != nil {
+			total += n.sched.Backlog()
+		}
+	}
+	return total
+}

@@ -1,0 +1,68 @@
+// Package mac implements the contention-based medium access layer of
+// the simulator: 802.11-style DCF with slotted backoff and
+// RTS-CTS-DATA-ACK floor acquisition, plus the pluggable per-node
+// packet schedulers — plain FIFO with binary exponential backoff for
+// the 802.11 baseline, and the paper's second-phase tag scheduler
+// (Sec. IV-C) that realizes a computed allocation strategy.
+package mac
+
+import (
+	"fmt"
+
+	"e2efair/internal/flow"
+	"e2efair/internal/sim"
+	"e2efair/internal/topology"
+)
+
+// Packet is one data packet travelling along a multi-hop flow, or a
+// one-hop broadcast frame (Broadcast set, Path holding only the
+// sender).
+type Packet struct {
+	Flow flow.ID
+	Seq  int64
+	// Path is the flow's node path; the packet's current transmitter
+	// is Path[Hop] and its receiver Path[Hop+1].
+	Path []topology.NodeID
+	// Hop is the zero-based index of the subflow currently carrying
+	// the packet.
+	Hop          int
+	PayloadBytes int
+	Born         sim.Time
+	// Broadcast marks a link-layer broadcast: sent without RTS/CTS or
+	// ACK and received by every idle neighbor in transmission range.
+	Broadcast bool
+	// Meta carries protocol payload for control packets (e.g. DSR
+	// route requests); the MAC treats it as opaque.
+	Meta any
+}
+
+// SubflowID returns the subflow currently carrying the packet.
+func (p *Packet) SubflowID() flow.SubflowID {
+	return flow.SubflowID{Flow: p.Flow, Hop: p.Hop}
+}
+
+// Transmitter returns the node about to send the packet.
+func (p *Packet) Transmitter() topology.NodeID { return p.Path[p.Hop] }
+
+// Receiver returns the next-hop node; broadcasts have none and report
+// an invalid ID.
+func (p *Packet) Receiver() topology.NodeID {
+	if p.Broadcast || p.Hop+1 >= len(p.Path) {
+		return -1
+	}
+	return p.Path[p.Hop+1]
+}
+
+// LastHop reports whether the current hop delivers the packet to its
+// final destination; broadcasts terminate at their single hop.
+func (p *Packet) LastHop() bool {
+	if p.Broadcast {
+		return true
+	}
+	return p.Hop == len(p.Path)-2
+}
+
+// String renders the packet for diagnostics.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s#%d@hop%d", p.Flow, p.Seq, p.Hop)
+}

@@ -1,0 +1,125 @@
+package mac
+
+import (
+	"math/rand"
+
+	"e2efair/internal/sim"
+	"e2efair/internal/topology"
+)
+
+// Scheduler is the per-node packet scheduling policy plugged into the
+// MAC. It owns the node's queues, selects the next packet to contend
+// for, and chooses contention backoff windows. Implementations are the
+// plain 802.11 FIFO and the paper's phase-2 tag scheduler.
+type Scheduler interface {
+	// Enqueue offers an arriving packet to the node's queues. It
+	// returns false when the packet is dropped for lack of buffer
+	// space.
+	Enqueue(p *Packet, now sim.Time) bool
+
+	// Head returns the packet the node should transmit next, or nil
+	// when the node has nothing to send. The choice is sticky: Head
+	// returns the same packet until OnSuccess or OnDrop removes it.
+	Head(now sim.Time) *Packet
+
+	// OnSuccess removes the head packet after a completed exchange.
+	// advice is the receiver-estimated backoff hint R carried in the
+	// ACK (zero when the receiver offers none).
+	OnSuccess(p *Packet, advice float64, now sim.Time)
+
+	// OnDrop removes the head packet after the MAC gave up on it
+	// (retry limit).
+	OnDrop(p *Packet, now sim.Time)
+
+	// DrawBackoff returns the contention backoff in slots for the
+	// current head packet, given how many attempts have already
+	// failed.
+	DrawBackoff(rng *rand.Rand, retries int, now sim.Time) int
+
+	// Observe reports a service tag overheard from a neighboring
+	// transmitter (piggybacked on RTS/CTS/ACK frames).
+	Observe(from topology.NodeID, startTag float64, now sim.Time)
+
+	// Advise returns the receiver-side backoff estimate R for the
+	// given sender, to be piggybacked on the ACK.
+	Advise(sender topology.NodeID, now sim.Time) float64
+
+	// CurrentTag returns the start tag of the node's head packet and
+	// whether the scheduler uses tags at all.
+	CurrentTag() (float64, bool)
+
+	// Backlog returns the number of queued packets.
+	Backlog() int
+}
+
+// FIFO is the plain 802.11 scheduler: one drop-tail queue for the
+// whole node and binary exponential backoff.
+type FIFO struct {
+	queue    []*Packet
+	capacity int
+	cwMin    int
+	cwMax    int
+}
+
+var _ Scheduler = (*FIFO)(nil)
+
+// NewFIFO returns a FIFO scheduler with the given queue capacity and
+// contention window bounds.
+func NewFIFO(capacity, cwMin, cwMax int) *FIFO {
+	return &FIFO{capacity: capacity, cwMin: cwMin, cwMax: cwMax}
+}
+
+// Enqueue implements Scheduler.
+func (f *FIFO) Enqueue(p *Packet, _ sim.Time) bool {
+	if len(f.queue) >= f.capacity {
+		return false
+	}
+	f.queue = append(f.queue, p)
+	return true
+}
+
+// Head implements Scheduler.
+func (f *FIFO) Head(_ sim.Time) *Packet {
+	if len(f.queue) == 0 {
+		return nil
+	}
+	return f.queue[0]
+}
+
+// OnSuccess implements Scheduler.
+func (f *FIFO) OnSuccess(_ *Packet, _ float64, _ sim.Time) { f.pop() }
+
+// OnDrop implements Scheduler.
+func (f *FIFO) OnDrop(_ *Packet, _ sim.Time) { f.pop() }
+
+func (f *FIFO) pop() {
+	if len(f.queue) > 0 {
+		f.queue[0] = nil
+		f.queue = f.queue[1:]
+	}
+}
+
+// DrawBackoff implements Scheduler: uniform in [0, CW] with CW
+// doubling per retry from CWmin to CWmax.
+func (f *FIFO) DrawBackoff(rng *rand.Rand, retries int, _ sim.Time) int {
+	cw := f.cwMin
+	for i := 0; i < retries && cw < f.cwMax; i++ {
+		cw = 2*cw + 1
+	}
+	if cw > f.cwMax {
+		cw = f.cwMax
+	}
+	return rng.Intn(cw + 1)
+}
+
+// Observe implements Scheduler (no-op: 802.11 ignores tags).
+func (f *FIFO) Observe(topology.NodeID, float64, sim.Time) {}
+
+// Advise implements Scheduler (no receiver hints).
+func (f *FIFO) Advise(topology.NodeID, sim.Time) float64 { return 0 }
+
+// CurrentTag implements Scheduler.
+func (f *FIFO) CurrentTag() (float64, bool) { return 0, false }
+
+// Backlog implements Scheduler.
+func (f *FIFO) Backlog() int { return len(f.queue) }

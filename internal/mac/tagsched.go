@@ -1,0 +1,385 @@
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"e2efair/internal/flow"
+	"e2efair/internal/sim"
+	"e2efair/internal/topology"
+)
+
+// DefaultAlpha is the paper's short-term fairness strictness
+// parameter (Sec. V).
+const DefaultAlpha = 0.0001
+
+// DefaultTagMaxAge expires neighbor table entries that have not been
+// refreshed by an overheard frame: a neighbor that went silent (its
+// flow ended) must not keep inflating Q forever.
+const DefaultTagMaxAge = sim.Second
+
+// minShare floors subflow shares to keep tag arithmetic finite.
+const minShare = 1e-6
+
+// TagSchedulerConfig configures the phase-2 scheduler for one node.
+type TagSchedulerConfig struct {
+	// Node is the owning node.
+	Node topology.NodeID
+	// BitsPerMicro is the channel capacity B in bits per microsecond.
+	BitsPerMicro float64
+	// Alpha tunes short-term fairness strictness (DefaultAlpha if 0).
+	Alpha float64
+	// CWMin and CWMax bound the contention window in slots.
+	CWMin int
+	CWMax int
+	// QueueCap is the per-subflow queue capacity in packets.
+	QueueCap int
+	// TagMaxAge expires stale neighbor tags (DefaultTagMaxAge if 0).
+	TagMaxAge sim.Time
+}
+
+// tagQueue is the per-subflow queue with the tags of its head packet.
+type tagQueue struct {
+	id         flow.SubflowID
+	share      float64 // allocated share c_i^j as a fraction of B
+	queue      []*Packet
+	sTag       float64 // start tag of the head packet
+	iTag       float64 // internal finish tag of the head packet
+	lastFinish float64 // internal finish tag of the previously served packet
+	tagged     bool
+}
+
+// TagScheduler implements the paper's second-phase distributed
+// backoff-based scheduler (Sec. IV-C). Packets from different subflows
+// are queued separately; the next packet is chosen by smallest
+// internal finish tag (computed from the subflow's allocated share);
+// the contention backoff window is CWmin + max(Q, R, 0), where Q and R
+// estimate how far this node's service has run ahead of its neighbors'
+// in normalized (per node share) virtual time.
+type TagScheduler struct {
+	node     topology.NodeID
+	bitsUS   float64
+	alpha    float64
+	cwMin    int
+	cwMax    int
+	queueCap int
+
+	queues    []*tagQueue
+	bySubflow map[flow.SubflowID]*tagQueue
+	nodeShare float64
+
+	vclock   float64
+	lastSend sim.Time
+	table    map[topology.NodeID]tagEntry // neighbor start tags
+	maxAge   sim.Time
+	advice   float64   // last R received via ACK
+	current  *tagQueue // sticky head selection
+}
+
+// tagEntry is one neighbor's last overheard start tag.
+type tagEntry struct {
+	tag  float64
+	seen sim.Time
+}
+
+var _ Scheduler = (*TagScheduler)(nil)
+
+// NewTagScheduler builds the scheduler; subflow queues are registered
+// afterwards with AddSubflow.
+func NewTagScheduler(cfg TagSchedulerConfig) (*TagScheduler, error) {
+	if cfg.BitsPerMicro <= 0 {
+		return nil, fmt.Errorf("mac: tag scheduler needs a positive channel rate, got %g", cfg.BitsPerMicro)
+	}
+	if cfg.QueueCap <= 0 {
+		return nil, fmt.Errorf("mac: tag scheduler needs a positive queue capacity, got %d", cfg.QueueCap)
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	maxAge := cfg.TagMaxAge
+	if maxAge == 0 {
+		maxAge = DefaultTagMaxAge
+	}
+	return &TagScheduler{
+		node:      cfg.Node,
+		bitsUS:    cfg.BitsPerMicro,
+		alpha:     alpha,
+		cwMin:     cfg.CWMin,
+		cwMax:     cfg.CWMax,
+		queueCap:  cfg.QueueCap,
+		maxAge:    maxAge,
+		bySubflow: make(map[flow.SubflowID]*tagQueue),
+		table:     make(map[topology.NodeID]tagEntry),
+	}, nil
+}
+
+// AddSubflow registers a subflow originating at this node with its
+// allocated share (fraction of B). The node share is the sum of its
+// subflows' shares.
+func (s *TagScheduler) AddSubflow(id flow.SubflowID, share float64) error {
+	if _, ok := s.bySubflow[id]; ok {
+		return fmt.Errorf("mac: subflow %s already registered", id)
+	}
+	if share < minShare {
+		share = minShare
+	}
+	q := &tagQueue{id: id, share: share}
+	s.queues = append(s.queues, q)
+	s.bySubflow[id] = q
+	s.nodeShare += share
+	return nil
+}
+
+// NodeShare returns the node share c_i (sum of subflow shares).
+func (s *TagScheduler) NodeShare() float64 { return s.nodeShare }
+
+// SetShare updates a registered subflow's allocated share at runtime,
+// supporting online reallocation when the set of backlogged flows
+// changes. The head packet's internal finish tag is recomputed so the
+// new share takes effect immediately.
+func (s *TagScheduler) SetShare(id flow.SubflowID, share float64) error {
+	q, ok := s.bySubflow[id]
+	if !ok {
+		return fmt.Errorf("mac: subflow %s not registered", id)
+	}
+	if share < minShare {
+		share = minShare
+	}
+	s.nodeShare += share - q.share
+	q.share = share
+	if q.tagged && len(q.queue) > 0 {
+		q.iTag = q.sTag + s.serviceTime(q.queue[0], share)
+	}
+	return nil
+}
+
+// Share returns a registered subflow's current share.
+func (s *TagScheduler) Share(id flow.SubflowID) (float64, bool) {
+	q, ok := s.bySubflow[id]
+	if !ok {
+		return 0, false
+	}
+	return q.share, true
+}
+
+// serviceTime returns the normalized service time of a packet at the
+// given share: L / (c·B), in microseconds of virtual time.
+func (s *TagScheduler) serviceTime(p *Packet, share float64) float64 {
+	bits := float64(p.PayloadBytes+dataOverheadBytes) * 8
+	return bits / (share * s.bitsUS)
+}
+
+// dataOverheadBytes mirrors phy.DataOverhead without importing phy
+// (the MAC treats framing as opaque airtime; tags only need a
+// consistent length measure).
+const dataOverheadBytes = 58
+
+// Enqueue implements Scheduler.
+func (s *TagScheduler) Enqueue(p *Packet, now sim.Time) bool {
+	q, ok := s.bySubflow[p.SubflowID()]
+	if !ok {
+		return false
+	}
+	if len(q.queue) >= s.queueCap {
+		return false
+	}
+	if s.Backlog() == 0 && now-s.lastSend > s.maxAge {
+		s.reanchor(now)
+	}
+	q.queue = append(q.queue, p)
+	if len(q.queue) == 1 {
+		s.tagHead(q)
+	}
+	return true
+}
+
+// reanchor advances the virtual clock of a node resuming from idle to
+// the freshest overheard neighbor tag — the start-time-fair-queueing
+// rule that a re-entering flow joins at the current system virtual
+// time rather than replaying its backlog of unused credit, which would
+// let it starve the neighbors that kept transmitting.
+func (s *TagScheduler) reanchor(now sim.Time) {
+	for _, e := range s.table {
+		if now-e.seen <= s.maxAge && e.tag > s.vclock {
+			s.vclock = e.tag
+		}
+	}
+}
+
+// tagHead assigns start and internal-finish tags to the queue's new
+// head packet: S = max(v_i(t), F_prev) and I = S + L/c_i^j, where
+// F_prev is the internal finish tag of the queue's previously served
+// packet. Chaining off F_prev is what makes backlogged queues receive
+// service in proportion to their shares (start-time fair queueing);
+// the max with the node's virtual clock re-anchors queues that have
+// been idle.
+func (s *TagScheduler) tagHead(q *tagQueue) {
+	p := q.queue[0]
+	q.sTag = s.vclock
+	if q.lastFinish > q.sTag {
+		q.sTag = q.lastFinish
+	}
+	q.iTag = q.sTag + s.serviceTime(p, q.share)
+	q.tagged = true
+}
+
+// Head implements Scheduler: smallest internal finish tag wins; the
+// selection is sticky until the packet leaves.
+func (s *TagScheduler) Head(_ sim.Time) *Packet {
+	if s.current != nil && len(s.current.queue) > 0 {
+		return s.current.queue[0]
+	}
+	s.current = nil
+	var best *tagQueue
+	for _, q := range s.queues {
+		if len(q.queue) == 0 {
+			continue
+		}
+		if !q.tagged {
+			s.tagHead(q)
+		}
+		if best == nil || q.iTag < best.iTag {
+			best = q
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	s.current = best
+	return best.queue[0]
+}
+
+// OnSuccess implements Scheduler: the virtual clock advances to the
+// external finish tag E = S + L/c_i (node share), and the next packet
+// of the queue is tagged.
+func (s *TagScheduler) OnSuccess(p *Packet, advice float64, now sim.Time) {
+	s.lastSend = now
+	q := s.current
+	if q == nil || len(q.queue) == 0 || q.queue[0] != p {
+		q = s.bySubflow[p.SubflowID()]
+	}
+	if q == nil || len(q.queue) == 0 {
+		return
+	}
+	eTag := q.sTag + s.serviceTime(p, s.nodeShare)
+	if eTag > s.vclock {
+		s.vclock = eTag
+	}
+	q.lastFinish = q.iTag
+	q.queue[0] = nil
+	q.queue = q.queue[1:]
+	q.tagged = false
+	if len(q.queue) > 0 {
+		s.tagHead(q)
+	}
+	s.advice = advice
+	s.current = nil
+}
+
+// OnDrop implements Scheduler.
+func (s *TagScheduler) OnDrop(p *Packet, _ sim.Time) {
+	q := s.current
+	if q == nil || len(q.queue) == 0 || q.queue[0] != p {
+		q = s.bySubflow[p.SubflowID()]
+	}
+	if q == nil || len(q.queue) == 0 {
+		return
+	}
+	q.queue[0] = nil
+	q.queue = q.queue[1:]
+	q.tagged = false
+	if len(q.queue) > 0 {
+		s.tagHead(q)
+	}
+	s.current = nil
+}
+
+// DrawBackoff implements Scheduler: uniform in
+// [0, CWmin + max(Q, R, 0)], where Q = α·Σ_m (S − r_m) over the local
+// table; the window escalates per retry as in 802.11 to preserve
+// collision resolution.
+func (s *TagScheduler) DrawBackoff(rng *rand.Rand, retries int, now sim.Time) int {
+	var sTag float64
+	if s.current != nil && s.current.tagged {
+		sTag = s.current.sTag
+	} else {
+		sTag = s.vclock
+	}
+	var q float64
+	for _, e := range s.table {
+		if now-e.seen > s.maxAge {
+			continue
+		}
+		q += (sTag - e.tag) * s.alpha
+	}
+	extra := q
+	if s.advice > extra {
+		extra = s.advice
+	}
+	if extra < 0 {
+		extra = 0
+	}
+	cw := s.cwMin + int(extra)
+	for i := 0; i < retries && cw < s.cwMax; i++ {
+		cw = 2*cw + 1
+	}
+	if cw > s.cwMax {
+		cw = s.cwMax
+	}
+	return rng.Intn(cw + 1)
+}
+
+// Observe implements Scheduler: records the overheard start tag of a
+// neighboring transmitter.
+func (s *TagScheduler) Observe(from topology.NodeID, startTag float64, now sim.Time) {
+	if from == s.node {
+		return
+	}
+	s.table[from] = tagEntry{tag: startTag, seen: now}
+}
+
+// Advise implements Scheduler: the receiver-side estimate
+// R = α·Σ_{m≠sender} (r_sender − r_m) from this node's table,
+// piggybacked on the ACK back to the sender.
+func (s *TagScheduler) Advise(sender topology.NodeID, now sim.Time) float64 {
+	se, ok := s.table[sender]
+	if !ok || now-se.seen > s.maxAge {
+		return 0
+	}
+	var r float64
+	for m, e := range s.table {
+		if m == sender || now-e.seen > s.maxAge {
+			continue
+		}
+		r += (se.tag - e.tag) * s.alpha
+	}
+	return r
+}
+
+// CurrentTag implements Scheduler.
+func (s *TagScheduler) CurrentTag() (float64, bool) {
+	if s.current != nil && s.current.tagged {
+		return s.current.sTag, true
+	}
+	return s.vclock, true
+}
+
+// Backlog implements Scheduler.
+func (s *TagScheduler) Backlog() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q.queue)
+	}
+	return n
+}
+
+// QueueLen returns the backlog of one subflow queue, for tests and
+// diagnostics.
+func (s *TagScheduler) QueueLen(id flow.SubflowID) int {
+	q, ok := s.bySubflow[id]
+	if !ok {
+		return 0
+	}
+	return len(q.queue)
+}

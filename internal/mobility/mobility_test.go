@@ -1,0 +1,185 @@
+package mobility_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"e2efair/internal/mobility"
+	"e2efair/internal/netsim"
+	"e2efair/internal/sim"
+)
+
+func wpCfg() mobility.WaypointConfig {
+	return mobility.WaypointConfig{
+		Width: 1000, Height: 800,
+		MinSpeed: 1, MaxSpeed: 10,
+		MaxPause: 2 * sim.Second,
+	}
+}
+
+func TestWaypointValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := mobility.NewWaypoint(0, wpCfg(), rng); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	bad := wpCfg()
+	bad.MinSpeed = 0
+	if _, err := mobility.NewWaypoint(3, bad, rng); err == nil {
+		t.Error("zero min speed should fail")
+	}
+	bad = wpCfg()
+	bad.MaxSpeed = 0.5
+	if _, err := mobility.NewWaypoint(3, bad, rng); err == nil {
+		t.Error("max below min should fail")
+	}
+}
+
+func TestWaypointStaysInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	wp, err := mobility.NewWaypoint(20, wpCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 50; step++ {
+		wp.Advance(5 * sim.Second)
+		for i, p := range wp.Positions() {
+			if p.X < -1e-9 || p.X > 1000+1e-9 || p.Y < -1e-9 || p.Y > 800+1e-9 {
+				t.Fatalf("step %d: node %d escaped to %v", step, i, p)
+			}
+		}
+	}
+}
+
+func TestWaypointSpeedBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	wp, err := mobility.NewWaypoint(10, wpCfg(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := wp.Positions()
+	const dt = 2 * sim.Second
+	for step := 0; step < 30; step++ {
+		wp.Advance(dt)
+		cur := wp.Positions()
+		for i := range cur {
+			moved := prev[i].Dist(cur[i])
+			// Maximum displacement: MaxSpeed over the whole window
+			// (pauses and waypoint turns only reduce it).
+			if moved > 10*dt.Seconds()+1e-6 {
+				t.Fatalf("node %d moved %.2f m in %v (max speed 10 m/s)", i, moved, dt)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestWaypointDeterministic(t *testing.T) {
+	run := func() []float64 {
+		rng := rand.New(rand.NewSource(7))
+		wp, err := mobility.NewWaypoint(5, wpCfg(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp.Advance(30 * sim.Second)
+		var out []float64
+		for _, p := range wp.Positions() {
+			out = append(out, p.X, p.Y)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("waypoint model not deterministic")
+		}
+	}
+}
+
+func TestMobileRun(t *testing.T) {
+	res, err := mobility.Run(mobility.Config{
+		Nodes:    20,
+		Waypoint: wpCfg(),
+		Flows: []mobility.FlowSpec{
+			{ID: "F1", Src: 0, Dst: 10},
+			{ID: "F2", Src: 5, Dst: 15},
+		},
+		Protocol: netsim.Protocol2PAC,
+		Epoch:    5 * sim.Second,
+		Duration: 40 * sim.Second,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 8 {
+		t.Fatalf("epochs = %d, want 8", len(res.Epochs))
+	}
+	if res.TotalDelivered == 0 {
+		t.Error("nothing delivered across the mobile run")
+	}
+	var delivered int64
+	for _, ep := range res.Epochs {
+		delivered += ep.Delivered
+		if ep.Routed > 2 {
+			t.Errorf("epoch routed %d of 2 flows", ep.Routed)
+		}
+	}
+	if delivered != res.TotalDelivered {
+		t.Errorf("epoch sum %d != total %d", delivered, res.TotalDelivered)
+	}
+}
+
+func TestMobileRunValidation(t *testing.T) {
+	if _, err := mobility.Run(mobility.Config{Nodes: 0}); err == nil {
+		t.Error("no nodes should fail")
+	}
+	if _, err := mobility.Run(mobility.Config{
+		Nodes:    5,
+		Waypoint: wpCfg(),
+		Flows:    []mobility.FlowSpec{{ID: "F", Src: 0, Dst: 9}},
+	}); err == nil {
+		t.Error("bad endpoint should fail")
+	}
+}
+
+// TestMobilityCausesBreakage: at high speed over a long run, some
+// route must break; with (near-)zero motion, none should.
+func TestMobilityCausesBreakage(t *testing.T) {
+	fast := wpCfg()
+	fast.MinSpeed, fast.MaxSpeed = 30, 50
+	fast.MaxPause = 0
+	res, err := mobility.Run(mobility.Config{
+		Nodes:    25,
+		Waypoint: fast,
+		Flows: []mobility.FlowSpec{
+			{ID: "F1", Src: 0, Dst: 20}, {ID: "F2", Src: 3, Dst: 17}, {ID: "F3", Src: 7, Dst: 22},
+		},
+		Protocol: netsim.Protocol2PAC,
+		Epoch:    5 * sim.Second,
+		Duration: 60 * sim.Second,
+		Seed:     13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RouteBreaks == 0 {
+		t.Error("fast mobility should break routes")
+	}
+	slow := wpCfg()
+	slow.MinSpeed, slow.MaxSpeed = 0.001, 0.002
+	res2, err := mobility.Run(mobility.Config{
+		Nodes:    25,
+		Waypoint: slow,
+		Flows:    []mobility.FlowSpec{{ID: "F1", Src: 0, Dst: 20}},
+		Protocol: netsim.Protocol2PAC,
+		Epoch:    5 * sim.Second,
+		Duration: 30 * sim.Second,
+		Seed:     13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.RouteBreaks != 0 {
+		t.Errorf("near-static nodes broke %d routes", res2.RouteBreaks)
+	}
+}

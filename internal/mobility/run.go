@@ -1,0 +1,215 @@
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+	"e2efair/internal/geom"
+	"e2efair/internal/netsim"
+	"e2efair/internal/routing"
+	"e2efair/internal/sim"
+	"e2efair/internal/topology"
+)
+
+// FlowSpec declares one mobile flow by endpoint node indices.
+type FlowSpec struct {
+	ID     flow.ID
+	Src    int
+	Dst    int
+	Weight float64 // 1 if zero
+}
+
+// Config parameterizes an epochal mobile run: the simulation proceeds
+// in epochs; at each epoch boundary node positions advance under the
+// waypoint model, routes are recomputed, the first phase reallocates
+// over the reachable flows, and the packet simulator runs the epoch.
+// Forwarding queues are flushed at epoch boundaries (an explicit
+// simplification, stated in DESIGN.md).
+type Config struct {
+	Nodes    int
+	Waypoint WaypointConfig
+	Flows    []FlowSpec
+	Protocol netsim.Protocol
+	Epoch    sim.Time // default 10 s
+	Duration sim.Time // default 100 s
+	Seed     int64
+	TxRange  float64 // default 250 m
+	// Net carries packet-level parameters (rate, queue, α…); its
+	// Protocol/Duration/Seed fields are managed per epoch.
+	Net netsim.Config
+}
+
+// EpochStat reports one epoch.
+type EpochStat struct {
+	Start sim.Time
+	// Routed counts flows with a usable route this epoch.
+	Routed int
+	// Broken counts flows whose previous route lost a link.
+	Broken int
+	// Rerouted counts flows whose route changed (including repairs).
+	Rerouted int
+	// Delivered and Lost are the epoch's packet counts.
+	Delivered int64
+	Lost      int64
+	// Allocation is the per-flow share vector used this epoch.
+	Allocation core.FlowAllocation
+}
+
+// Result aggregates a mobile run.
+type Result struct {
+	Epochs []EpochStat
+	// PerFlow sums end-to-end deliveries across epochs.
+	PerFlow map[flow.ID]int64
+	// TotalDelivered and TotalLost sum across epochs.
+	TotalDelivered int64
+	TotalLost      int64
+	// RouteBreaks counts link breakages across the run.
+	RouteBreaks int
+	// Unreachable counts flow-epochs without any route.
+	Unreachable int
+}
+
+// Run executes the epochal mobile simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Nodes <= 0 || len(cfg.Flows) == 0 {
+		return nil, fmt.Errorf("mobility: need nodes and flows")
+	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 10 * sim.Second
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 100 * sim.Second
+	}
+	if cfg.TxRange == 0 {
+		cfg.TxRange = topology.DefaultRange
+	}
+	for _, f := range cfg.Flows {
+		if f.Src < 0 || f.Src >= cfg.Nodes || f.Dst < 0 || f.Dst >= cfg.Nodes || f.Src == f.Dst {
+			return nil, fmt.Errorf("mobility: flow %s has bad endpoints (%d, %d)", f.ID, f.Src, f.Dst)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	wp, err := NewWaypoint(cfg.Nodes, cfg.Waypoint, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{PerFlow: make(map[flow.ID]int64, len(cfg.Flows))}
+	prevRoutes := make(map[flow.ID][]topology.NodeID, len(cfg.Flows))
+
+	for start := sim.Time(0); start < cfg.Duration; start += cfg.Epoch {
+		topo, err := buildTopo(wp.Positions(), cfg.TxRange)
+		if err != nil {
+			return nil, err
+		}
+		ep := EpochStat{Start: start}
+		// Detect breakage of last epoch's routes.
+		for _, route := range prevRoutes {
+			for i := 0; i+1 < len(route); i++ {
+				if !topo.InTxRange(route[i], route[i+1]) {
+					ep.Broken++
+					res.RouteBreaks++
+					break
+				}
+			}
+		}
+		// Recompute routes.
+		set, routes, err := routeFlows(topo, cfg.Flows)
+		if err != nil {
+			return nil, err
+		}
+		for id, route := range routes {
+			if prev, ok := prevRoutes[id]; ok && !samePath(prev, route) {
+				ep.Rerouted++
+			}
+		}
+		res.Unreachable += len(cfg.Flows) - len(routes)
+		ep.Routed = len(routes)
+		prevRoutes = routes
+
+		if set != nil && set.Len() > 0 {
+			inst, err := core.NewInstance(topo, set)
+			if err != nil {
+				return nil, err
+			}
+			netCfg := cfg.Net
+			netCfg.Protocol = cfg.Protocol
+			netCfg.Duration = cfg.Epoch
+			netCfg.Seed = cfg.Seed + int64(start)
+			run, err := netsim.Run(inst, netCfg)
+			if err != nil {
+				return nil, err
+			}
+			ep.Delivered = run.Stats.TotalEndToEnd()
+			ep.Lost = run.Stats.Lost()
+			res.TotalDelivered += ep.Delivered
+			res.TotalLost += ep.Lost
+			for _, f := range set.Flows() {
+				res.PerFlow[f.ID()] += run.Stats.EndToEnd(f.ID())
+			}
+			if run.Shares != nil {
+				ep.Allocation = make(core.FlowAllocation, set.Len())
+				for _, f := range set.Flows() {
+					if s, ok := run.Shares[flow.SubflowID{Flow: f.ID(), Hop: 0}]; ok {
+						ep.Allocation[f.ID()] = s
+					}
+				}
+			}
+		}
+		res.Epochs = append(res.Epochs, ep)
+		wp.Advance(cfg.Epoch)
+	}
+	return res, nil
+}
+
+// buildTopo snapshots positions into a topology.
+func buildTopo(pos []geom.Point, txRange float64) (*topology.Topology, error) {
+	b := topology.NewBuilder(txRange, 0)
+	for i, p := range pos {
+		b.Add(fmt.Sprintf("n%d", i), p.X, p.Y)
+	}
+	return b.Build()
+}
+
+// routeFlows computes shortest-path routes for the reachable flows and
+// wraps them in a flow set. Unreachable flows are skipped.
+func routeFlows(topo *topology.Topology, specs []FlowSpec) (*flow.Set, map[flow.ID][]topology.NodeID, error) {
+	set, err := flow.NewSet()
+	if err != nil {
+		return nil, nil, err
+	}
+	routes := make(map[flow.ID][]topology.NodeID, len(specs))
+	for _, fs := range specs {
+		path, err := routing.ShortestPath(topo, topology.NodeID(fs.Src), topology.NodeID(fs.Dst))
+		if err != nil {
+			continue // unreachable this epoch
+		}
+		weight := fs.Weight
+		if weight == 0 {
+			weight = 1
+		}
+		f, err := flow.New(fs.ID, weight, path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := set.Add(f); err != nil {
+			return nil, nil, err
+		}
+		routes[fs.ID] = path
+	}
+	return set, routes, nil
+}
+
+// samePath reports whether two routes are identical.
+func samePath(a, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,129 @@
+package netsim_test
+
+// Packet-conservation invariants: whatever the protocol and topology,
+// packets can only move forward hop by hop, so per-flow hop counts are
+// non-increasing along the path and every packet delivered on the
+// first hop is eventually delivered end-to-end, lost in flight, or
+// still sitting in a downstream queue (bounded by total queue
+// capacity).
+
+import (
+	"math/rand"
+	"testing"
+
+	"e2efair/internal/netsim"
+	"e2efair/internal/scenario"
+	"e2efair/internal/sim"
+)
+
+func checkConservation(t *testing.T, sc *scenario.Scenario, r *netsim.Result, queueCap int) {
+	t.Helper()
+	var hop0Total, e2eTotal int64
+	for _, f := range sc.Flows.Flows() {
+		subs := f.Subflows()
+		prev := int64(-1)
+		for i := range subs {
+			got := r.Stats.Subflow(subs[i].ID)
+			if prev >= 0 && got > prev {
+				t.Errorf("%s flow %s: hop %d delivered %d > upstream %d",
+					r.Protocol, f.ID(), i, got, prev)
+			}
+			prev = got
+		}
+		hop0Total += r.Stats.Subflow(subs[0].ID)
+		e2eTotal += r.Stats.EndToEnd(f.ID())
+	}
+	if e2eTotal != r.Stats.TotalEndToEnd() {
+		t.Errorf("%s: e2e sum %d != TotalEndToEnd %d", r.Protocol, e2eTotal, r.Stats.TotalEndToEnd())
+	}
+	// hop0 = e2e + lost-in-flight + still-queued-downstream.
+	inTransit := hop0Total - e2eTotal - r.Stats.Lost()
+	if inTransit < 0 {
+		t.Errorf("%s: negative in-transit count %d (hop0 %d, e2e %d, lost %d)",
+			r.Protocol, inTransit, hop0Total, e2eTotal, r.Stats.Lost())
+	}
+	var maxQueued int64
+	for _, f := range sc.Flows.Flows() {
+		if h := int64(f.Length() - 1); h > 0 {
+			maxQueued += h * int64(queueCap)
+		}
+	}
+	if inTransit > maxQueued {
+		t.Errorf("%s: in-transit %d exceeds downstream queue capacity %d",
+			r.Protocol, inTransit, maxQueued)
+	}
+}
+
+func TestConservationPaperScenarios(t *testing.T) {
+	for _, build := range []func() (*scenario.Scenario, error){scenario.Figure1, scenario.Figure6} {
+		sc, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []netsim.Protocol{
+			netsim.Protocol80211, netsim.ProtocolTwoTier,
+			netsim.Protocol2PAC, netsim.Protocol2PAD, netsim.ProtocolDFS,
+		} {
+			r, err := netsim.Run(sc.Inst, netsim.Config{Protocol: p, Duration: 20 * sim.Second, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkConservation(t, sc, r, 50)
+		}
+	}
+}
+
+func TestConservationRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 5; trial++ {
+		sc, err := scenario.Random(scenario.RandomConfig{
+			Nodes: 16, Width: 800, Height: 800, Flows: 3, MaxHops: 4,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []netsim.Protocol{netsim.Protocol80211, netsim.Protocol2PAC} {
+			r, err := netsim.Run(sc.Inst, netsim.Config{
+				Protocol: p, Duration: 10 * sim.Second, Seed: int64(trial),
+			})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, p, err)
+			}
+			checkConservation(t, sc, r, 50)
+		}
+	}
+}
+
+func TestAirtimeReported(t *testing.T) {
+	sc, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := netsim.Run(sc.Inst, netsim.Config{Protocol: netsim.Protocol2PAC, Duration: 10 * sim.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	air := r.Airtime
+	if air == nil {
+		t.Fatal("no airtime report")
+	}
+	if air.Exchanges == 0 || air.TxTime == 0 {
+		t.Errorf("airtime empty: %+v", air)
+	}
+	if u := air.Utilization(); u <= 0 || u > 3 {
+		t.Errorf("utilization = %g", u)
+	}
+	// Exchange count must match total hop deliveries.
+	var hops int64
+	for _, f := range sc.Flows.Flows() {
+		for _, s := range f.Subflows() {
+			hops += r.Stats.Subflow(s.ID)
+		}
+	}
+	if air.Exchanges != hops {
+		t.Errorf("exchanges %d != hop deliveries %d", air.Exchanges, hops)
+	}
+	if air.Collisions != r.Stats.Collisions() {
+		t.Errorf("collision counts disagree: %d vs %d", air.Collisions, r.Stats.Collisions())
+	}
+}

@@ -1,0 +1,112 @@
+package netsim_test
+
+import (
+	"testing"
+
+	"e2efair/internal/flow"
+	"e2efair/internal/netsim"
+	"e2efair/internal/scenario"
+	"e2efair/internal/sim"
+)
+
+// TestDynamicReallocation stops F1 mid-run on the Fig. 1 topology:
+// alone, F2's share grows from B/4 to B/2, so its windowed throughput
+// should roughly double after the churn event.
+func TestDynamicReallocation(t *testing.T) {
+	sc, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dur = 60 * sim.Second
+	res, err := netsim.RunDynamic(sc.Inst, netsim.Config{
+		Protocol:    netsim.Protocol2PAC,
+		Duration:    dur,
+		Seed:        1,
+		SampleEvery: 5 * sim.Second,
+	}, []netsim.FlowEvent{
+		{At: 0, Start: []flow.ID{"F1", "F2"}},
+		{At: 30 * sim.Second, Stop: []flow.ID{"F1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reallocations != 2 {
+		t.Errorf("reallocations = %d, want 2", res.Reallocations)
+	}
+	// Final shares: F2 alone gets B/2 per hop.
+	if got := res.FinalShares[sub("F2", 0)]; got < 0.49 || got > 0.51 {
+		t.Errorf("final F2 share = %g, want 0.5", got)
+	}
+	// Windowed throughput of F2: compare an early window (with F1
+	// active, share 1/4) against a late one (alone, share 1/2 —
+	// though F2 then drains only at its 200 pkt/s CBR limit, still
+	// well above the contended rate).
+	wins := res.Series.Windows("F2")
+	if len(wins) < 10 {
+		t.Fatalf("series too short: %d windows", len(wins))
+	}
+	early := float64(wins[3] + wins[4]) // 15–25 s
+	late := float64(wins[9] + wins[10]) // 45–55 s
+	if late < 1.3*early {
+		t.Errorf("F2 windowed throughput should grow after F1 stops: early %g late %g", early, late)
+	}
+	// F1 stops delivering after churn.
+	f1 := res.Series.Windows("F1")
+	if f1[len(f1)-1] != 0 {
+		t.Errorf("F1 still delivering after stop: %v", f1)
+	}
+}
+
+func TestDynamicUnknownFlow(t *testing.T) {
+	sc, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = netsim.RunDynamic(sc.Inst, netsim.Config{
+		Protocol: netsim.Protocol2PAC, Duration: sim.Second,
+	}, []netsim.FlowEvent{{At: 0, Start: []flow.ID{"F9"}}})
+	if err == nil {
+		t.Error("unknown flow in event should fail")
+	}
+}
+
+func TestDynamicMatchesStaticWhenNoChurn(t *testing.T) {
+	sc, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := netsim.RunDynamic(sc.Inst, netsim.Config{
+		Protocol: netsim.Protocol2PAC, Duration: 20 * sim.Second, Seed: 3,
+	}, []netsim.FlowEvent{{At: 0, Start: []flow.ID{"F1", "F2"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TotalEndToEnd() == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// The throughput ratio should match the static allocation (≈2:1).
+	f1 := float64(res.Stats.EndToEnd("F1"))
+	f2 := float64(res.Stats.EndToEnd("F2"))
+	if r := f1 / f2; r < 1.4 || r > 2.7 {
+		t.Errorf("dynamic ratio %.2f, want ≈2", r)
+	}
+}
+
+func TestDynamic80211NoReallocation(t *testing.T) {
+	sc, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := netsim.RunDynamic(sc.Inst, netsim.Config{
+		Protocol: netsim.Protocol80211, Duration: 5 * sim.Second, Seed: 1,
+	}, []netsim.FlowEvent{{At: 0, Start: []flow.ID{"F1", "F2"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reallocations != 0 {
+		t.Errorf("802.11 performed %d reallocations", res.Reallocations)
+	}
+	if res.Stats.TotalEndToEnd() == 0 {
+		t.Error("nothing delivered")
+	}
+}

@@ -1,0 +1,309 @@
+// Package netsim assembles complete protocol stacks — traffic, queues,
+// scheduler, MAC, channel — over a topology and runs the packet-level
+// experiments of the paper's Sec. V. Four stacks are provided: plain
+// IEEE 802.11, the two-tier fair scheduling baseline, and 2PA with the
+// centralized (2PA-C) or distributed (2PA-D) first phase.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+	"e2efair/internal/mac"
+	"e2efair/internal/phy"
+	"e2efair/internal/sim"
+	"e2efair/internal/stats"
+	"e2efair/internal/topology"
+	"e2efair/internal/traffic"
+)
+
+// Protocol selects the protocol stack under test.
+type Protocol int
+
+// Protocol stacks from the paper's evaluation.
+const (
+	Protocol80211 Protocol = iota + 1
+	ProtocolTwoTier
+	Protocol2PAC
+	Protocol2PAD
+	// ProtocolDFS drives the centralized 2PA shares through the
+	// Distributed Fair Scheduling backoff of Vaidya et al. instead of
+	// the paper's tag scheduler — the phase-2 ablation.
+	ProtocolDFS
+)
+
+// String names the protocol as in the paper's tables.
+func (p Protocol) String() string {
+	switch p {
+	case Protocol80211:
+		return "802.11"
+	case ProtocolTwoTier:
+		return "two-tier"
+	case Protocol2PAC:
+		return "2PA-C"
+	case Protocol2PAD:
+		return "2PA-D"
+	case ProtocolDFS:
+		return "2PA-DFS"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// ErrNeedTopology is returned when simulating an abstract instance.
+var ErrNeedTopology = errors.New("netsim: instance has no geometric topology")
+
+// Config parameterizes a simulation run. Zero fields take the paper's
+// defaults.
+type Config struct {
+	Protocol     Protocol
+	Duration     sim.Time // simulated time; default 1000 s
+	Seed         int64
+	PacketsPerS  float64 // CBR rate per flow; default 200
+	PayloadBytes int     // default 512
+	BitRate      int64   // channel capacity; default 2 Mbps
+	CWMin        int     // default 31
+	CWMax        int     // default 1023
+	Alpha        float64 // tag scheduler strictness; default 0.0001
+	QueueCap     int     // packets per queue; default 50
+	RetryLimit   int     // default 7
+	// SampleEvery enables windowed throughput sampling at the given
+	// period (zero disables it).
+	SampleEvery sim.Time
+	// Tracer, when set, receives every MAC-level event.
+	Tracer mac.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration == 0 {
+		c.Duration = 1000 * sim.Second
+	}
+	if c.PacketsPerS == 0 {
+		c.PacketsPerS = 200
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = phy.PayloadBytes
+	}
+	if c.BitRate == 0 {
+		c.BitRate = phy.DefaultBitsPS
+	}
+	if c.CWMin == 0 {
+		c.CWMin = phy.DefaultCWMin
+	}
+	if c.CWMax == 0 {
+		c.CWMax = phy.DefaultCWMax
+	}
+	if c.Alpha == 0 {
+		c.Alpha = mac.DefaultAlpha
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 50
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = phy.DefaultRetryLimit
+	}
+	return c
+}
+
+// Result reports one run's metrics alongside the allocation that drove
+// the scheduler (empty for 802.11).
+type Result struct {
+	Protocol Protocol
+	Duration sim.Time
+	Stats    *stats.Collector
+	// Shares is the per-subflow allocation installed in the phase-2
+	// scheduler, as fractions of B.
+	Shares core.SubflowAllocation
+	// Airtime accounts for channel occupancy (spatial reuse and
+	// collision overhead).
+	Airtime *mac.AirtimeReport
+	// Series holds windowed per-flow throughput samples when
+	// Config.SampleEvery is set.
+	Series *stats.Series
+	// Latency tracks end-to-end packet delays per flow.
+	Latency *stats.LatencyTracker
+}
+
+// Run executes one simulation.
+func Run(inst *core.Instance, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	col := stats.NewCollector()
+	lat := stats.NewLatencyTracker()
+	var stack *Stack
+	hooks := mac.Hooks{
+		OnDelivered: func(p *mac.Packet, now sim.Time) {
+			col.HopDelivered(p.SubflowID(), p.LastHop())
+			if p.LastHop() {
+				lat.Record(p.Flow, now-p.Born)
+				return
+			}
+			p.Hop++
+			ok, injErr := stack.Medium.Inject(p)
+			if injErr == nil && !ok {
+				col.QueueDrop(true)
+				col.DropAt(p.SubflowID())
+			}
+		},
+		OnRetryDrop: func(p *mac.Packet, _ sim.Time) {
+			col.RetryDrop(p.Hop >= 1)
+			if p.Hop >= 1 {
+				col.DropAt(p.SubflowID())
+			}
+		},
+		OnCollision: func(_ topology.NodeID, _ sim.Time) {
+			col.Collision()
+		},
+	}
+	stack, err := NewStack(inst, cfg, hooks)
+	if err != nil {
+		return nil, err
+	}
+	eng, medium := stack.Engine, stack.Medium
+
+	for i, f := range inst.Flows.Flows() {
+		err := traffic.StartCBR(eng, medium, traffic.CBRConfig{
+			Flow:         f,
+			PacketsPerS:  cfg.PacketsPerS,
+			PayloadBytes: cfg.PayloadBytes,
+			Offset:       sim.Time(i) * 137 * sim.Microsecond,
+			Until:        cfg.Duration,
+			OnSourceDrop: func(_ *mac.Packet, _ sim.Time) { col.QueueDrop(false) },
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var series *stats.Series
+	if cfg.SampleEvery > 0 {
+		series = stats.NewSeries(cfg.SampleEvery)
+		var sample func()
+		sample = func() {
+			series.Sample(eng.Now(), col)
+			if eng.Now() < cfg.Duration {
+				_ = eng.After(cfg.SampleEvery, 0, sample)
+			}
+		}
+		_ = eng.After(cfg.SampleEvery, 0, sample)
+	}
+
+	eng.Run(cfg.Duration)
+	return &Result{
+		Protocol: cfg.Protocol,
+		Duration: cfg.Duration,
+		Stats:    col,
+		Shares:   stack.Shares,
+		Airtime:  medium.Airtime(),
+		Series:   series,
+		Latency:  lat,
+	}, nil
+}
+
+// sharesFor computes the per-subflow allocation each protocol's
+// scheduler enforces.
+func sharesFor(inst *core.Instance, p Protocol) (core.SubflowAllocation, error) {
+	switch p {
+	case Protocol80211:
+		return nil, nil
+	case ProtocolTwoTier:
+		return core.TwoTierAllocate(inst), nil
+	case Protocol2PAC, ProtocolDFS:
+		alloc, err := core.CentralizedAllocate(inst, core.CentralizedOptions{Refine: true})
+		if err != nil {
+			return nil, err
+		}
+		return alloc.Uniform(inst.Flows), nil
+	case Protocol2PAD:
+		res, err := core.DistributedAllocate(inst)
+		if err != nil {
+			return nil, err
+		}
+		return res.Shares.Uniform(inst.Flows), nil
+	default:
+		return nil, fmt.Errorf("netsim: unknown protocol %d", int(p))
+	}
+}
+
+// attachSchedulers installs a scheduler on every node: FIFO for
+// 802.11, tag schedulers (with the subflows each node transmits)
+// otherwise. Pure receivers get an empty tag scheduler so they can
+// maintain neighbor tables and return ACK advice.
+func attachSchedulers(medium *mac.Medium, inst *core.Instance, cfg Config, shares core.SubflowAllocation) error {
+	n := inst.Topo.NumNodes()
+	if shares == nil {
+		for i := 0; i < n; i++ {
+			if err := medium.Attach(topology.NodeID(i), mac.NewFIFO(cfg.QueueCap, cfg.CWMin, cfg.CWMax)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	bySrc := make(map[topology.NodeID][]flow.Subflow)
+	for _, f := range inst.Flows.Flows() {
+		for _, s := range f.Subflows() {
+			bySrc[s.Src] = append(bySrc[s.Src], s)
+		}
+	}
+	bitsUS := float64(cfg.BitRate) / 1e6
+	for i := 0; i < n; i++ {
+		node := topology.NodeID(i)
+		var sched mac.Scheduler
+		if cfg.Protocol == ProtocolDFS {
+			ds, err := mac.NewDFS(mac.DFSConfig{
+				Capacity:     cfg.QueueCap,
+				BitsPerMicro: bitsUS,
+				CWMin:        cfg.CWMin,
+				CWMax:        cfg.CWMax,
+			})
+			if err != nil {
+				return err
+			}
+			for _, s := range bySrc[node] {
+				if err := ds.AddSubflow(s.ID, shares[s.ID]); err != nil {
+					return err
+				}
+			}
+			sched = ds
+		} else {
+			ts, err := mac.NewTagScheduler(mac.TagSchedulerConfig{
+				Node:         node,
+				BitsPerMicro: bitsUS,
+				Alpha:        cfg.Alpha,
+				CWMin:        cfg.CWMin,
+				CWMax:        cfg.CWMax,
+				QueueCap:     cfg.QueueCap,
+			})
+			if err != nil {
+				return err
+			}
+			for _, s := range bySrc[node] {
+				if err := ts.AddSubflow(s.ID, shares[s.ID]); err != nil {
+					return err
+				}
+			}
+			sched = ts
+		}
+		if err := medium.Attach(node, sched); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAll executes the run for each protocol with the same config and
+// returns results keyed by protocol, in the given order.
+func RunAll(inst *core.Instance, cfg Config, protocols ...Protocol) ([]*Result, error) {
+	out := make([]*Result, 0, len(protocols))
+	for _, p := range protocols {
+		c := cfg
+		c.Protocol = p
+		r, err := Run(inst, c)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: %s: %w", p, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

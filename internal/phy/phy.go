@@ -1,0 +1,106 @@
+// Package phy models the radio channel: frame airtimes at the channel
+// bit rate and the 802.11 interframe timing constants used by the MAC.
+// The paper's evaluation configures a 2 Mbps channel with Two Ray
+// Ground propagation and equal 250 m transmission and interference
+// ranges, under which propagation reduces to the deterministic disk
+// model implemented by the topology package.
+package phy
+
+import (
+	"errors"
+
+	"e2efair/internal/sim"
+)
+
+// 802.11 DSSS timing constants (microseconds).
+const (
+	SlotTime = 20 * sim.Microsecond
+	SIFS     = 10 * sim.Microsecond
+	DIFS     = 50 * sim.Microsecond
+)
+
+// Default contention window bounds (slots), CWmin matching the paper.
+const (
+	DefaultCWMin = 31
+	DefaultCWMax = 1023
+)
+
+// DefaultRetryLimit is the number of failed floor acquisitions after
+// which the MAC drops the head-of-line packet (802.11 long retry
+// limit).
+const DefaultRetryLimit = 7
+
+// Frame sizes in bytes. Control frames follow 802.11; the data
+// overhead covers MAC and IP headers on the paper's 512-byte payload.
+const (
+	RTSBytes      = 40
+	CTSBytes      = 39
+	ACKBytes      = 39
+	DataOverhead  = 58
+	PayloadBytes  = 512
+	DefaultBitsPS = 2_000_000 // paper: 2 Mbps channel capacity
+)
+
+// ErrBadRate is returned for non-positive channel rates.
+var ErrBadRate = errors.New("phy: channel rate must be positive")
+
+// Channel captures the physical-layer parameters of the shared medium.
+type Channel struct {
+	// BitRate is the channel capacity in bits per second.
+	BitRate int64
+}
+
+// NewChannel returns a channel at the given bit rate; rate 0 selects
+// the paper's 2 Mbps default.
+func NewChannel(bitRate int64) (*Channel, error) {
+	if bitRate == 0 {
+		bitRate = DefaultBitsPS
+	}
+	if bitRate < 0 {
+		return nil, ErrBadRate
+	}
+	return &Channel{BitRate: bitRate}, nil
+}
+
+// Airtime returns the time to transmit the given number of bytes,
+// rounded up to a whole microsecond.
+func (c *Channel) Airtime(bytes int) sim.Time {
+	bits := int64(bytes) * 8
+	us := (bits*1_000_000 + c.BitRate - 1) / c.BitRate
+	return sim.Time(us)
+}
+
+// RTSTime returns the airtime of an RTS frame.
+func (c *Channel) RTSTime() sim.Time { return c.Airtime(RTSBytes) }
+
+// CTSTime returns the airtime of a CTS frame.
+func (c *Channel) CTSTime() sim.Time { return c.Airtime(CTSBytes) }
+
+// ACKTime returns the airtime of an ACK frame.
+func (c *Channel) ACKTime() sim.Time { return c.Airtime(ACKBytes) }
+
+// DataTime returns the airtime of a data frame carrying the given
+// payload.
+func (c *Channel) DataTime(payloadBytes int) sim.Time {
+	return c.Airtime(payloadBytes + DataOverhead)
+}
+
+// ExchangeTime returns the full floor-acquisition duration for one
+// data packet: RTS + SIFS + CTS + SIFS + DATA + SIFS + ACK.
+func (c *Channel) ExchangeTime(payloadBytes int) sim.Time {
+	return c.RTSTime() + SIFS + c.CTSTime() + SIFS + c.DataTime(payloadBytes) + SIFS + c.ACKTime()
+}
+
+// CollisionTime returns the airtime wasted by a failed RTS (the RTS
+// itself plus a DIFS of recovery).
+func (c *Channel) CollisionTime() sim.Time {
+	return c.RTSTime() + DIFS
+}
+
+// PacketRate returns the maximum single-link packet throughput in
+// packets per second for the given payload, ignoring backoff: a
+// convenient upper bound when sizing workloads.
+func (c *Channel) PacketRate(payloadBytes int) float64 {
+	per := c.ExchangeTime(payloadBytes) + DIFS
+	return float64(sim.Second) / float64(per)
+}

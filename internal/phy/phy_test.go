@@ -1,0 +1,69 @@
+package phy
+
+import (
+	"errors"
+	"testing"
+
+	"e2efair/internal/sim"
+)
+
+func TestNewChannelDefaults(t *testing.T) {
+	ch, err := NewChannel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.BitRate != DefaultBitsPS {
+		t.Errorf("default rate = %d", ch.BitRate)
+	}
+	if _, err := NewChannel(-1); !errors.Is(err, ErrBadRate) {
+		t.Errorf("negative rate err = %v", err)
+	}
+}
+
+func TestAirtime(t *testing.T) {
+	ch, _ := NewChannel(2_000_000)
+	// 512 bytes = 4096 bits at 2 Mbps = 2048 µs.
+	if got := ch.Airtime(512); got != 2048*sim.Microsecond {
+		t.Errorf("Airtime(512) = %d", got)
+	}
+	// Rounding up: 1 byte = 8 bits = 4 µs exactly at 2 Mbps.
+	if got := ch.Airtime(1); got != 4 {
+		t.Errorf("Airtime(1) = %d", got)
+	}
+	ch3, _ := NewChannel(3_000_000)
+	// 1 byte = 8 bits at 3 Mbps = 2.67 µs → rounds up to 3.
+	if got := ch3.Airtime(1); got != 3 {
+		t.Errorf("Airtime(1)@3Mbps = %d", got)
+	}
+}
+
+func TestExchangeTime(t *testing.T) {
+	ch, _ := NewChannel(0)
+	want := ch.RTSTime() + SIFS + ch.CTSTime() + SIFS + ch.DataTime(512) + SIFS + ch.ACKTime()
+	if got := ch.ExchangeTime(512); got != want {
+		t.Errorf("ExchangeTime = %d, want %d", got, want)
+	}
+	if ch.ExchangeTime(512) <= ch.DataTime(512) {
+		t.Error("exchange must cost more than the data frame alone")
+	}
+}
+
+func TestPacketRate(t *testing.T) {
+	ch, _ := NewChannel(0)
+	rate := ch.PacketRate(512)
+	// ~2.8 ms per packet with handshake → roughly 350 packets/s; the
+	// paper's 200 packets/s CBR per flow therefore saturates a shared
+	// neighborhood, keeping sources greedy.
+	if rate < 250 || rate > 450 {
+		t.Errorf("PacketRate(512) = %g, expected a few hundred", rate)
+	}
+}
+
+func TestTimingConstants(t *testing.T) {
+	if SIFS >= DIFS {
+		t.Error("SIFS must be shorter than DIFS")
+	}
+	if SlotTime <= 0 {
+		t.Error("slot must be positive")
+	}
+}

@@ -1,0 +1,180 @@
+// Package routing computes routes over a wireless topology. The paper
+// uses Dynamic Source Routing only to obtain shortest paths on static
+// topologies, so the substrate here is shortest-path routing (BFS in
+// hop count) with stable, deterministic tie-breaking, plus the
+// validation helpers the analysis relies on (the "no shortcut"
+// property of Sec. II-D).
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"e2efair/internal/topology"
+)
+
+var (
+	// ErrNoRoute is returned when the destination is unreachable.
+	ErrNoRoute = errors.New("routing: no route")
+	// ErrShortcut is returned by ValidatePath for a path where two
+	// non-adjacent path nodes are within transmission range, which
+	// violates the paper's shortest-path assumption.
+	ErrShortcut = errors.New("routing: path has a shortcut")
+	// ErrBadPath is returned for malformed paths (too short, repeated
+	// nodes, or hops that are not radio links).
+	ErrBadPath = errors.New("routing: malformed path")
+)
+
+// ShortestPath returns a minimum-hop path from src to dst, inclusive of
+// both endpoints. Ties are broken toward lower node IDs so that results
+// are deterministic. A src == dst query returns the single-node path.
+func ShortestPath(t *topology.Topology, src, dst topology.NodeID) ([]topology.NodeID, error) {
+	n := t.NumNodes()
+	if int(src) < 0 || int(src) >= n || int(dst) < 0 || int(dst) >= n {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+	}
+	if src == dst {
+		return []topology.NodeID{src}, nil
+	}
+	prev := make([]topology.NodeID, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	frontier := []topology.NodeID{src}
+	for len(frontier) > 0 && prev[dst] == -1 {
+		var next []topology.NodeID
+		for _, u := range frontier {
+			for _, v := range t.Neighbors(u) {
+				if prev[v] == -1 {
+					prev[v] = u
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	if prev[dst] == -1 {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrNoRoute, t.Name(src), t.Name(dst))
+	}
+	var rev []topology.NodeID
+	for at := dst; at != src; at = prev[at] {
+		rev = append(rev, at)
+	}
+	rev = append(rev, src)
+	path := make([]topology.NodeID, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path, nil
+}
+
+// Table holds precomputed routes between every pair of nodes, the
+// static-route analogue of a converged DSR cache.
+type Table struct {
+	paths map[[2]topology.NodeID][]topology.NodeID
+}
+
+// BuildTable computes shortest paths between all node pairs. Pairs with
+// no route are omitted from the table.
+func BuildTable(t *topology.Topology) *Table {
+	tbl := &Table{paths: make(map[[2]topology.NodeID][]topology.NodeID)}
+	n := t.NumNodes()
+	for s := 0; s < n; s++ {
+		// One BFS per source covers all destinations.
+		prev := make([]topology.NodeID, n)
+		for i := range prev {
+			prev[i] = -1
+		}
+		src := topology.NodeID(s)
+		prev[src] = src
+		frontier := []topology.NodeID{src}
+		for len(frontier) > 0 {
+			var next []topology.NodeID
+			for _, u := range frontier {
+				for _, v := range t.Neighbors(u) {
+					if prev[v] == -1 {
+						prev[v] = u
+						next = append(next, v)
+					}
+				}
+			}
+			frontier = next
+		}
+		for d := 0; d < n; d++ {
+			dst := topology.NodeID(d)
+			if dst == src || prev[dst] == -1 {
+				continue
+			}
+			var rev []topology.NodeID
+			for at := dst; at != src; at = prev[at] {
+				rev = append(rev, at)
+			}
+			rev = append(rev, src)
+			path := make([]topology.NodeID, len(rev))
+			for i := range rev {
+				path[i] = rev[len(rev)-1-i]
+			}
+			tbl.paths[[2]topology.NodeID{src, dst}] = path
+		}
+	}
+	return tbl
+}
+
+// Route returns the cached path from src to dst.
+func (tb *Table) Route(src, dst topology.NodeID) ([]topology.NodeID, error) {
+	if src == dst {
+		return []topology.NodeID{src}, nil
+	}
+	p, ok := tb.paths[[2]topology.NodeID{src, dst}]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+	}
+	out := make([]topology.NodeID, len(p))
+	copy(out, p)
+	return out, nil
+}
+
+// NumRoutes returns the number of cached source/destination pairs.
+func (tb *Table) NumRoutes() int { return len(tb.paths) }
+
+// ValidatePath checks that the given node sequence is a usable
+// multi-hop route: at least one hop, no repeated nodes, every hop a
+// radio link, and — per the paper's assumption — no shortcuts (two
+// path nodes more than one hop apart must be out of transmission
+// range).
+func ValidatePath(t *topology.Topology, path []topology.NodeID) error {
+	if len(path) < 2 {
+		return fmt.Errorf("%w: need at least two nodes, got %d", ErrBadPath, len(path))
+	}
+	seen := make(map[topology.NodeID]bool, len(path))
+	for _, id := range path {
+		if _, err := t.Node(id); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadPath, err)
+		}
+		if seen[id] {
+			return fmt.Errorf("%w: repeated node %s", ErrBadPath, t.Name(id))
+		}
+		seen[id] = true
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !t.InTxRange(path[i], path[i+1]) {
+			return fmt.Errorf("%w: %s-%s is not a radio link", ErrBadPath, t.Name(path[i]), t.Name(path[i+1]))
+		}
+	}
+	for i := 0; i < len(path); i++ {
+		for j := i + 2; j < len(path); j++ {
+			if t.InTxRange(path[i], path[j]) {
+				return fmt.Errorf("%w: %s and %s are in range", ErrShortcut, t.Name(path[i]), t.Name(path[j]))
+			}
+		}
+	}
+	return nil
+}
+
+// HasShortcut reports whether the path violates the no-shortcut
+// assumption while otherwise being well formed.
+func HasShortcut(t *topology.Topology, path []topology.NodeID) bool {
+	err := ValidatePath(t, path)
+	return errors.Is(err, ErrShortcut)
+}

@@ -1,0 +1,210 @@
+package routing
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"e2efair/internal/topology"
+)
+
+func grid(t *testing.T) *topology.Topology {
+	t.Helper()
+	// 3x3 grid, 200 m spacing: only orthogonal neighbors in range
+	// (diagonal = 283 m).
+	b := topology.NewBuilder(topology.DefaultRange, 0)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			b.Add(string(rune('A'+r*3+c)), float64(c)*200, float64(r)*200)
+		}
+	}
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestShortestPathHops(t *testing.T) {
+	topo := grid(t)
+	a, _ := topo.Lookup("A") // corner (0,0)
+	i, _ := topo.Lookup("I") // corner (400,400)
+	path, err := ShortestPath(topo, a, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 5 { // 4 hops in a Manhattan grid
+		t.Fatalf("path %v has %d nodes, want 5", path, len(path))
+	}
+	if path[0] != a || path[len(path)-1] != i {
+		t.Errorf("endpoints wrong: %v", path)
+	}
+	for k := 0; k+1 < len(path); k++ {
+		if !topo.InTxRange(path[k], path[k+1]) {
+			t.Errorf("hop %d is not a link", k)
+		}
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	topo := grid(t)
+	a, _ := topo.Lookup("A")
+	path, err := ShortestPath(topo, a, a)
+	if err != nil || len(path) != 1 || path[0] != a {
+		t.Errorf("self path = %v, err %v", path, err)
+	}
+}
+
+func TestShortestPathNoRoute(t *testing.T) {
+	topo, err := topology.NewBuilder(250, 0).Add("A", 0, 0).Add("B", 1000, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ShortestPath(topo, 0, 1); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestShortestPathDeterministic(t *testing.T) {
+	topo := grid(t)
+	a, _ := topo.Lookup("A")
+	i, _ := topo.Lookup("I")
+	p1, err := ShortestPath(topo, a, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		p2, err := ShortestPath(topo, a, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range p1 {
+			if p1[j] != p2[j] {
+				t.Fatalf("nondeterministic path: %v vs %v", p1, p2)
+			}
+		}
+	}
+}
+
+func TestTableMatchesDirect(t *testing.T) {
+	topo := grid(t)
+	tbl := BuildTable(topo)
+	n := topo.NumNodes()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			src, dst := topology.NodeID(s), topology.NodeID(d)
+			direct, derr := ShortestPath(topo, src, dst)
+			cached, cerr := tbl.Route(src, dst)
+			if (derr == nil) != (cerr == nil) {
+				t.Fatalf("%d->%d: direct err %v, table err %v", s, d, derr, cerr)
+			}
+			if derr != nil {
+				continue
+			}
+			if len(direct) != len(cached) {
+				t.Errorf("%d->%d: direct %d hops, table %d", s, d, len(direct)-1, len(cached)-1)
+			}
+		}
+	}
+	if tbl.NumRoutes() != n*(n-1) {
+		t.Errorf("NumRoutes = %d, want %d", tbl.NumRoutes(), n*(n-1))
+	}
+}
+
+func TestTableReturnsCopy(t *testing.T) {
+	topo := grid(t)
+	tbl := BuildTable(topo)
+	p1, err := tbl.Route(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1[0] = 99
+	p2, err := tbl.Route(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2[0] == 99 {
+		t.Error("Route result aliases internal state")
+	}
+}
+
+func TestValidatePath(t *testing.T) {
+	topo := grid(t)
+	name := func(s string) topology.NodeID {
+		id, err := topo.Lookup(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	cases := []struct {
+		label string
+		path  []string
+		want  error
+	}{
+		{"valid 2-hop", []string{"A", "B", "C"}, nil},
+		{"too short", []string{"A"}, ErrBadPath},
+		{"repeat", []string{"A", "B", "A"}, ErrBadPath},
+		{"not a link", []string{"A", "C"}, ErrBadPath},
+		{"shortcut", []string{"A", "B", "E", "D"}, ErrShortcut}, // A (0,0) and D (0,200) in range
+	}
+	for _, c := range cases {
+		t.Run(c.label, func(t *testing.T) {
+			ids := make([]topology.NodeID, len(c.path))
+			for i, s := range c.path {
+				ids[i] = name(s)
+			}
+			err := ValidatePath(topo, ids)
+			if c.want == nil && err != nil {
+				t.Errorf("unexpected error %v", err)
+			}
+			if c.want != nil && !errors.Is(err, c.want) {
+				t.Errorf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestHasShortcut(t *testing.T) {
+	topo := grid(t)
+	a, _ := topo.Lookup("A")
+	b, _ := topo.Lookup("B")
+	e, _ := topo.Lookup("E")
+	d, _ := topo.Lookup("D")
+	if !HasShortcut(topo, []topology.NodeID{a, b, e, d}) {
+		t.Error("expected shortcut")
+	}
+	c, _ := topo.Lookup("C")
+	if HasShortcut(topo, []topology.NodeID{a, b, c}) {
+		t.Error("straight line has no shortcut")
+	}
+}
+
+// TestShortestPathsNeverHaveShortcuts is the property justifying the
+// paper's no-shortcut assumption for shortest-path routing.
+func TestShortestPathsNeverHaveShortcuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		topo, err := topology.Random(topology.RandomConfig{
+			Nodes: 30, Width: 1000, Height: 1000, Connect: true,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := BuildTable(topo)
+		for s := 0; s < topo.NumNodes(); s++ {
+			for d := 0; d < topo.NumNodes(); d++ {
+				if s == d {
+					continue
+				}
+				path, err := tbl.Route(topology.NodeID(s), topology.NodeID(d))
+				if err != nil {
+					continue
+				}
+				if HasShortcut(topo, path) {
+					t.Fatalf("shortest path %v has a shortcut", path)
+				}
+			}
+		}
+	}
+}

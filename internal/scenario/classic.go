@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"fmt"
+
+	"e2efair/internal/flow"
+	"e2efair/internal/topology"
+)
+
+// Grid builds the classic n×m grid evaluation topology with 200 m
+// spacing and a set of horizontal and vertical cross flows — the
+// standard stress test for spatial-reuse schedulers: row flows can
+// pipeline concurrently, while crossing column flows create shared
+// cliques at the intersections.
+func Grid(rows, cols, rowFlows, colFlows int) (*Scenario, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("scenario: grid needs at least 2x2, got %dx%d", rows, cols)
+	}
+	if rowFlows > rows || colFlows > cols {
+		return nil, fmt.Errorf("scenario: more flows than rows/columns")
+	}
+	b := topology.NewBuilder(topology.DefaultRange, 0)
+	name := func(r, c int) string { return fmt.Sprintf("g%d_%d", r, c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.Add(name(r, c), float64(c)*200, float64(r)*200)
+		}
+	}
+	topo, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	var specs []pathSpec
+	// Horizontal flows on evenly spaced rows.
+	for i := 0; i < rowFlows; i++ {
+		r := i * rows / max(rowFlows, 1)
+		path := make([]string, cols)
+		for c := 0; c < cols; c++ {
+			path[c] = name(r, c)
+		}
+		specs = append(specs, pathSpec{id: flow.ID(fmt.Sprintf("H%d", i+1)), weight: 1, path: path})
+	}
+	// Vertical flows on evenly spaced columns.
+	for i := 0; i < colFlows; i++ {
+		c := i * cols / max(colFlows, 1)
+		path := make([]string, rows)
+		for r := 0; r < rows; r++ {
+			path[r] = name(r, c)
+		}
+		specs = append(specs, pathSpec{id: flow.ID(fmt.Sprintf("V%d", i+1)), weight: 1, path: path})
+	}
+	return assemble(fmt.Sprintf("grid%dx%d", rows, cols), topo, specs)
+}
+
+// ParkingLot builds the classic parking-lot topology: one long chain
+// flow crossed by short single-hop flows entering at successive
+// intermediate nodes — the canonical test of whether a long flow is
+// starved by many local contenders.
+func ParkingLot(hops int, crossFlows int) (*Scenario, error) {
+	if hops < 2 {
+		return nil, fmt.Errorf("scenario: parking lot needs at least 2 hops")
+	}
+	if crossFlows >= hops {
+		return nil, fmt.Errorf("scenario: at most hops-1 cross flows")
+	}
+	b := topology.NewBuilder(topology.DefaultRange, 0)
+	names := make([]string, hops+1)
+	for i := 0; i <= hops; i++ {
+		names[i] = fmt.Sprintf("m%d", i)
+		b.Add(names[i], float64(i)*200, 0)
+	}
+	// Cross-flow sources sit just off the chain, each within range of
+	// exactly one chain node.
+	crossSrc := make([]string, crossFlows)
+	for i := 0; i < crossFlows; i++ {
+		at := 1 + i*(hops-1)/max(crossFlows, 1)
+		crossSrc[i] = fmt.Sprintf("c%d", i+1)
+		b.Add(crossSrc[i], float64(at)*200, 240)
+	}
+	topo, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	specs := []pathSpec{{id: "L", weight: 1, path: names}}
+	for i := 0; i < crossFlows; i++ {
+		at := 1 + i*(hops-1)/max(crossFlows, 1)
+		specs = append(specs, pathSpec{
+			id: flow.ID(fmt.Sprintf("X%d", i+1)), weight: 1,
+			path: []string{crossSrc[i], names[at]},
+		})
+	}
+	return assemble(fmt.Sprintf("parkinglot%d", hops), topo, specs)
+}

@@ -1,0 +1,128 @@
+// Package sim provides a deterministic discrete-event simulation
+// engine: a virtual clock in microseconds and an event queue ordered
+// by (time, phase, insertion sequence). It is the foundation of the
+// packet-level wireless simulator that substitutes for ns-2.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+)
+
+// Time is simulated time in microseconds.
+type Time int64
+
+// Common time units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000000
+)
+
+// Seconds converts a Time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Phase orders events that fire at the same instant: lower phases run
+// first. The MAC uses phases to finish transmissions before new
+// contention attempts resolve.
+type Phase int
+
+// ErrPast is returned when an event is scheduled before the current
+// virtual time.
+var ErrPast = errors.New("sim: event scheduled in the past")
+
+type event struct {
+	at    Time
+	phase Phase
+	seq   uint64
+	fn    func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].phase != h[j].phase {
+		return h[i].phase < h[j].phase
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule enqueues fn to run at the given time and phase. Events in
+// the past are rejected.
+func (e *Engine) Schedule(at Time, phase Phase, fn func()) error {
+	if at < e.now {
+		return ErrPast
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, phase: phase, seq: e.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn to run delay microseconds from now.
+func (e *Engine) After(delay Time, phase Phase, fn func()) error {
+	if delay < 0 {
+		return ErrPast
+	}
+	return e.Schedule(e.now+delay, phase, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue empties or the next
+// event is past the horizon. Events scheduled exactly at the horizon
+// still run. It returns the number of events executed.
+func (e *Engine) Run(until Time) int {
+	e.stopped = false
+	n := 0
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		next.fn()
+		n++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRunOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	_ = e.Schedule(30, 0, func() { order = append(order, 3) })
+	_ = e.Schedule(10, 0, func() { order = append(order, 1) })
+	_ = e.Schedule(20, 0, func() { order = append(order, 2) })
+	n := e.Run(100)
+	if n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now = %d, want horizon 100", e.Now())
+	}
+}
+
+func TestPhaseOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	_ = e.Schedule(10, 2, func() { order = append(order, "late") })
+	_ = e.Schedule(10, 0, func() { order = append(order, "early") })
+	_ = e.Schedule(10, 1, func() { order = append(order, "mid") })
+	e.Run(10)
+	if len(order) != 3 || order[0] != "early" || order[1] != "mid" || order[2] != "late" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestFIFOWithinPhase(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		_ = e.Schedule(5, 0, func() { order = append(order, i) })
+	}
+	e.Run(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("insertion order not preserved: %v", order)
+		}
+	}
+}
+
+func TestScheduleFromCallback(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	var emit func()
+	emit = func() {
+		hits = append(hits, e.Now())
+		if e.Now() < 50 {
+			_ = e.After(10, 0, emit)
+		}
+	}
+	_ = e.Schedule(0, 0, emit)
+	e.Run(1000)
+	if len(hits) != 6 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[5] != 50 {
+		t.Errorf("last hit at %d", hits[5])
+	}
+}
+
+func TestPastRejected(t *testing.T) {
+	e := NewEngine()
+	_ = e.Schedule(100, 0, func() {
+		if err := e.Schedule(50, 0, func() {}); !errors.Is(err, ErrPast) {
+			t.Errorf("past schedule err = %v", err)
+		}
+	})
+	e.Run(200)
+	if err := e.After(-1, 0, func() {}); !errors.Is(err, ErrPast) {
+		t.Errorf("negative After err = %v", err)
+	}
+}
+
+func TestHorizonStops(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	_ = e.Schedule(100, 0, func() { ran = true })
+	e.Run(99)
+	if ran {
+		t.Error("event past the horizon ran")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	e.Run(100)
+	if !ran {
+		t.Error("event at the horizon should run")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		_ = e.Schedule(Time(i), 0, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(100)
+	if count != 3 {
+		t.Errorf("ran %d events after Stop", count)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds = %g", got)
+	}
+	if got := (500 * Millisecond).Seconds(); got != 0.5 {
+		t.Errorf("Seconds = %g", got)
+	}
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"sort"
+
+	"e2efair/internal/flow"
+	"e2efair/internal/sim"
+)
+
+// LatencyTracker accumulates end-to-end packet delays per flow. The
+// paper's related work (Kanodia et al.) coordinates multi-hop
+// schedules for delay; tracking delay here shows 2PA's side effect:
+// balanced per-hop shares keep queues short, so delays stay low and
+// stable.
+type LatencyTracker struct {
+	samples map[flow.ID][]sim.Time
+}
+
+// NewLatencyTracker returns an empty tracker.
+func NewLatencyTracker() *LatencyTracker {
+	return &LatencyTracker{samples: make(map[flow.ID][]sim.Time)}
+}
+
+// Record stores one end-to-end delay sample.
+func (l *LatencyTracker) Record(id flow.ID, delay sim.Time) {
+	if delay < 0 {
+		return
+	}
+	l.samples[id] = append(l.samples[id], delay)
+}
+
+// Count returns the number of samples for a flow.
+func (l *LatencyTracker) Count(id flow.ID) int { return len(l.samples[id]) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of a flow's delays, or
+// zero with ok=false when the flow has no samples.
+func (l *LatencyTracker) Quantile(id flow.ID, q float64) (sim.Time, bool) {
+	s := l.samples[id]
+	if len(s) == 0 {
+		return 0, false
+	}
+	sorted := make([]sim.Time, len(s))
+	copy(sorted, s)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	if q <= 0 {
+		return sorted[0], true
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1], true
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx], true
+}
+
+// Mean returns the mean delay of a flow, or zero with ok=false.
+func (l *LatencyTracker) Mean(id flow.ID) (sim.Time, bool) {
+	s := l.samples[id]
+	if len(s) == 0 {
+		return 0, false
+	}
+	var sum sim.Time
+	for _, v := range s {
+		sum += v
+	}
+	return sum / sim.Time(len(s)), true
+}
+
+// Flows lists flows with samples, sorted.
+func (l *LatencyTracker) Flows() []flow.ID {
+	ids := make([]flow.ID, 0, len(l.samples))
+	for id := range l.samples {
+		ids = append(ids, id)
+	}
+	sortFlowIDs(ids)
+	return ids
+}

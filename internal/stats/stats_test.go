@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"e2efair/internal/flow"
+)
+
+func sf(f flow.ID, hop int) flow.SubflowID { return flow.SubflowID{Flow: f, Hop: hop} }
+
+func TestCounters(t *testing.T) {
+	c := NewCollector()
+	c.HopDelivered(sf("F1", 0), false)
+	c.HopDelivered(sf("F1", 1), true)
+	c.HopDelivered(sf("F1", 0), false)
+	c.HopDelivered(sf("F2", 0), true)
+	if c.Subflow(sf("F1", 0)) != 2 || c.Subflow(sf("F1", 1)) != 1 {
+		t.Errorf("subflow counts wrong")
+	}
+	if c.EndToEnd("F1") != 1 || c.EndToEnd("F2") != 1 {
+		t.Errorf("e2e counts wrong")
+	}
+	if c.TotalEndToEnd() != 2 {
+		t.Errorf("total = %d", c.TotalEndToEnd())
+	}
+	ids := c.FlowIDs()
+	if len(ids) != 2 || ids[0] != "F1" || ids[1] != "F2" {
+		t.Errorf("FlowIDs = %v", ids)
+	}
+}
+
+func TestLossAccounting(t *testing.T) {
+	c := NewCollector()
+	c.QueueDrop(true)
+	c.QueueDrop(true)
+	c.QueueDrop(false)
+	c.RetryDrop(true)
+	c.RetryDrop(false)
+	if c.Lost() != 3 {
+		t.Errorf("Lost = %d, want 3 (2 queue + 1 retry in flight)", c.Lost())
+	}
+	if c.LostQueue() != 2 || c.LostRetry() != 1 {
+		t.Errorf("components: queue %d retry %d", c.LostQueue(), c.LostRetry())
+	}
+	if c.SourceDrops() != 2 {
+		t.Errorf("SourceDrops = %d, want 2", c.SourceDrops())
+	}
+}
+
+func TestLossRatioMatchesPaperDefinition(t *testing.T) {
+	// Table II, 2PA column: 689 lost over 167488 delivered ⇒ 0.004.
+	c := NewCollector()
+	for i := 0; i < 167488; i++ {
+		c.HopDelivered(sf("F1", 1), true)
+	}
+	for i := 0; i < 689; i++ {
+		c.QueueDrop(true)
+	}
+	if got := c.LossRatio(); math.Abs(got-0.0041) > 0.0002 {
+		t.Errorf("loss ratio = %.4f, want ≈0.004", got)
+	}
+}
+
+func TestLossRatioEdgeCases(t *testing.T) {
+	c := NewCollector()
+	if got := c.LossRatio(); got != 0 {
+		t.Errorf("empty collector ratio = %g", got)
+	}
+	c.QueueDrop(true)
+	if got := c.LossRatio(); !math.IsInf(got, 1) {
+		t.Errorf("all-lost ratio = %g, want +Inf", got)
+	}
+}
+
+func TestCollisions(t *testing.T) {
+	c := NewCollector()
+	c.Collision()
+	c.Collision()
+	if c.Collisions() != 2 {
+		t.Errorf("collisions = %d", c.Collisions())
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		want   float64
+	}{
+		{"equal", []float64{1, 1, 1, 1}, 1},
+		{"empty", nil, 0},
+		{"zeros", []float64{0, 0}, 0},
+		{"one hog", []float64{1, 0, 0, 0}, 0.25},
+		{"two of four", []float64{1, 1, 0, 0}, 0.5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := JainIndex(c.values); math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("Jain(%v) = %g, want %g", c.values, got, c.want)
+			}
+		})
+	}
+}
+
+func TestJainScaleInvariant(t *testing.T) {
+	a := JainIndex([]float64{1, 2, 3})
+	b := JainIndex([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("Jain not scale invariant: %g vs %g", a, b)
+	}
+}

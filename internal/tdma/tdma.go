@@ -1,0 +1,222 @@
+// Package tdma realizes an allocation strategy with an idealized,
+// perfectly coordinated TDMA schedule: the estimation-algorithm view
+// of Sec. III, which the paper uses to judge practical schedulers
+// against the optimum. A fractional schedule over maximal independent
+// sets of the subflow contention graph is computed with the
+// schedulability LP, then executed frame by frame with zero contention
+// overhead (no backoff, no RTS/CTS, no collisions). Comparing a
+// protocol's throughput to this bound isolates its MAC overhead.
+package tdma
+
+import (
+	"errors"
+	"fmt"
+
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+	"e2efair/internal/phy"
+	"e2efair/internal/sim"
+	"e2efair/internal/stats"
+)
+
+// ErrNoSchedule is returned when even the scaled rate vector cannot be
+// scheduled (cannot happen for rates from a feasible LP; defensive).
+var ErrNoSchedule = errors.New("tdma: no feasible schedule")
+
+// Config parameterizes the ideal run. Zero fields take the paper's
+// evaluation defaults.
+type Config struct {
+	Duration     sim.Time // default 1000 s
+	Frame        sim.Time // TDMA frame; default 100 ms
+	PacketsPerS  float64  // CBR rate per flow; default 200
+	PayloadBytes int      // default 512
+	BitRate      int64    // default 2 Mbps
+	QueueCap     int      // default 50
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration == 0 {
+		c.Duration = 1000 * sim.Second
+	}
+	if c.Frame == 0 {
+		c.Frame = 100 * sim.Millisecond
+	}
+	if c.PacketsPerS == 0 {
+		c.PacketsPerS = 200
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = phy.PayloadBytes
+	}
+	if c.BitRate == 0 {
+		c.BitRate = phy.DefaultBitsPS
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 50
+	}
+	return c
+}
+
+// Result reports an ideal run.
+type Result struct {
+	Stats *stats.Collector
+	// Schedule is the executed fractional schedule.
+	Schedule []core.ScheduleEntry
+	// ScaledBy records the factor applied to the requested rates to
+	// make them schedulable (1 when they already were).
+	ScaledBy float64
+	// Duration is the simulated time.
+	Duration sim.Time
+}
+
+// Run executes the requested per-subflow rates (fractions of B) under
+// an ideal TDMA schedule. Rates that are not schedulable are scaled
+// down uniformly until they are.
+func Run(inst *core.Instance, rates core.SubflowAllocation, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	g := inst.Graph
+	vec := make([]float64, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		vec[v] = rates[g.Subflow(v).ID]
+	}
+	sched, err := core.CheckSchedulable(g, vec)
+	if err != nil {
+		return nil, err
+	}
+	scale := 1.0
+	if !sched.Feasible {
+		if sched.Load <= 0 {
+			return nil, ErrNoSchedule
+		}
+		scale = 1 / sched.Load
+		for i := range vec {
+			vec[i] *= scale
+		}
+		sched, err = core.CheckSchedulable(g, vec)
+		if err != nil {
+			return nil, err
+		}
+		if !sched.Feasible {
+			return nil, ErrNoSchedule
+		}
+	}
+	res := &Result{
+		Stats:    stats.NewCollector(),
+		Schedule: sched.Schedule,
+		ScaledBy: scale,
+		Duration: cfg.Duration,
+	}
+	run(inst, sched.Schedule, cfg, res.Stats)
+	return res, nil
+}
+
+// RunIdeal2PA computes the centralized 2PA allocation and executes it
+// ideally — the paper's "optimal allocation in the ideal case".
+func RunIdeal2PA(inst *core.Instance, cfg Config) (*Result, error) {
+	alloc, err := core.CentralizedAllocate(inst, core.CentralizedOptions{Refine: true})
+	if err != nil {
+		return nil, fmt.Errorf("tdma: %w", err)
+	}
+	return Run(inst, alloc.Uniform(inst.Flows), cfg)
+}
+
+// subState is one subflow's queue in the frame-by-frame execution.
+type subState struct {
+	id      flow.SubflowID
+	hop     int
+	last    bool // delivers to the destination
+	next    int  // index of the downstream subflow, -1 if none
+	queue   int  // queued packets
+	credit  float64
+	srcRate float64 // arrivals per frame at the source (hop 0 only)
+	due     float64 // fractional arrival accumulator
+}
+
+// run executes the schedule deterministically. Within a frame, entries
+// run in order; packets forwarded in an earlier entry are available to
+// downstream subflows later in the same frame, modelling pipelining.
+func run(inst *core.Instance, schedule []core.ScheduleEntry, cfg Config, col *stats.Collector) {
+	ch, err := phy.NewChannel(cfg.BitRate)
+	if err != nil {
+		return
+	}
+	// Ideal per-packet cost: data frame + SIFS + ACK, no contention.
+	perPacket := ch.DataTime(cfg.PayloadBytes) + phy.SIFS + ch.ACKTime()
+	frame := cfg.Frame
+
+	g := inst.Graph
+	states := make([]*subState, g.NumVertices())
+	index := make(map[flow.SubflowID]int, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		s := g.Subflow(v)
+		states[v] = &subState{id: s.ID, hop: s.ID.Hop, next: -1}
+		index[s.ID] = v
+	}
+	for _, f := range inst.Flows.Flows() {
+		subs := f.Subflows()
+		for i := range subs {
+			v := index[subs[i].ID]
+			states[v].last = i == len(subs)-1
+			if i+1 < len(subs) {
+				states[v].next = index[subs[i+1].ID]
+			}
+			if i == 0 {
+				states[v].srcRate = cfg.PacketsPerS * frame.Seconds()
+			}
+		}
+	}
+
+	frames := int(cfg.Duration / frame)
+	for fr := 0; fr < frames; fr++ {
+		// CBR arrivals at sources.
+		for _, st := range states {
+			if st.srcRate <= 0 {
+				continue
+			}
+			st.due += st.srcRate
+			arrivals := int(st.due)
+			st.due -= float64(arrivals)
+			for a := 0; a < arrivals; a++ {
+				if st.queue >= cfg.QueueCap {
+					col.QueueDrop(false)
+					continue
+				}
+				st.queue++
+			}
+		}
+		// Execute schedule entries.
+		for _, e := range schedule {
+			window := e.Fraction * float64(frame)
+			for _, v := range e.Set {
+				st := states[v]
+				st.credit += window / float64(perPacket)
+				can := int(st.credit)
+				if can > st.queue {
+					can = st.queue
+				}
+				if can <= 0 {
+					continue
+				}
+				st.credit -= float64(can)
+				st.queue -= can
+				for k := 0; k < can; k++ {
+					col.HopDelivered(st.id, st.last)
+				}
+				if st.next >= 0 {
+					nxt := states[st.next]
+					for k := 0; k < can; k++ {
+						if nxt.queue >= cfg.QueueCap {
+							col.QueueDrop(true)
+							continue
+						}
+						nxt.queue++
+					}
+				}
+				// Unused credit does not accumulate across frames
+				// beyond one packet: an idle slot is spent.
+				if st.queue == 0 && st.credit > 1 {
+					st.credit = 1
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package tdma_test
+
+import (
+	"math"
+	"testing"
+
+	"e2efair/internal/core"
+	"e2efair/internal/scenario"
+	"e2efair/internal/sim"
+	"e2efair/internal/tdma"
+)
+
+func TestIdealFig1TracksAllocation(t *testing.T) {
+	sc, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tdma.RunIdeal2PA(sc.Inst, tdma.Config{Duration: 100 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScaledBy != 1 {
+		t.Errorf("2PA shares should be schedulable unscaled, got %g", res.ScaledBy)
+	}
+	// Shares (1/2, 1/4): F1's ideal rate is min(200 CBR, 0.5·B/L).
+	// At 2 Mbps, ideal per-packet cost ≈ 2300 µs ⇒ 0.5·B carries
+	// ≈ 217 pkt/s, so F1 is CBR-limited at 200 and F2 at ≈ 108.
+	f1 := float64(res.Stats.EndToEnd("F1")) / 100
+	f2 := float64(res.Stats.EndToEnd("F2")) / 100
+	if f1 < 190 || f1 > 201 {
+		t.Errorf("ideal F1 rate %.1f, want ≈200 (CBR-limited)", f1)
+	}
+	if f2 < 95 || f2 > 115 {
+		t.Errorf("ideal F2 rate %.1f, want ≈108 (share-limited)", f2)
+	}
+	if res.Stats.Lost() != 0 {
+		t.Errorf("ideal schedule lost %d packets in flight", res.Stats.Lost())
+	}
+}
+
+func TestIdealDominatesContentionMAC(t *testing.T) {
+	// The ideal estimator upper-bounds what the phase-2 scheduler can
+	// deliver for the same allocation (MAC overhead is nonnegative).
+	sc, err := scenario.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tdma.RunIdeal2PA(sc.Inst, tdma.Config{Duration: 50 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From netsim's Table III shape test: 2PA-C delivers ≈ 560 pkt/s
+	// at 50 s on this scenario. The ideal bound must exceed it.
+	idealRate := float64(res.Stats.TotalEndToEnd()) / 50
+	if idealRate < 570 {
+		t.Errorf("ideal total rate %.1f pkt/s should exceed the contention MAC's ≈565", idealRate)
+	}
+}
+
+func TestPentagonScaled(t *testing.T) {
+	sc, err := scenario.Pentagon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request the unschedulable B/2 per subflow; the executor must
+	// scale by 1/1.25 = 0.8 down to the 2B/5 optimum.
+	rates := make(core.SubflowAllocation)
+	for i := 0; i < sc.Inst.Graph.NumVertices(); i++ {
+		rates[sc.Inst.Graph.Subflow(i).ID] = 0.5
+	}
+	res, err := tdma.Run(sc.Inst, rates, tdma.Config{Duration: 10 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ScaledBy-0.8) > 1e-6 {
+		t.Errorf("scale = %g, want 0.8", res.ScaledBy)
+	}
+	if len(res.Schedule) == 0 {
+		t.Error("no schedule entries")
+	}
+}
+
+func TestIdealNoLossForBalancedFlows(t *testing.T) {
+	sc, err := scenario.Chain(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tdma.RunIdeal2PA(sc.Inst, tdma.Config{Duration: 60 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Lost() != 0 {
+		t.Errorf("uniform per-hop rates must not overflow queues: lost %d", res.Stats.Lost())
+	}
+	if res.Stats.EndToEnd("F1") == 0 {
+		t.Error("nothing delivered")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	sc, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() int64 {
+		res, err := tdma.RunIdeal2PA(sc.Inst, tdma.Config{Duration: 20 * sim.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.TotalEndToEnd()
+	}
+	if run() != run() {
+		t.Error("ideal executor must be deterministic")
+	}
+}

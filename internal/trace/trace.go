@@ -1,0 +1,160 @@
+// Package trace renders MAC events as ns-2-style trace lines and
+// collects them in bounded buffers, for debugging simulations and for
+// post-hoc analysis of channel behaviour.
+//
+// Line format (one event per line):
+//
+//	s 1.234567 A -> B   F1#42@hop0    (exchange start)
+//	r 1.237341 A -> B   F1#42@hop0    (exchange end / received)
+//	b 1.240000 C -> *   dsr-rreq#1    (broadcast)
+//	c 1.241000 A        F1#43@hop0    (failed floor acquisition)
+//	D 1.250000 A        F1#43@hop0    (retry-limit drop)
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"e2efair/internal/mac"
+	"e2efair/internal/topology"
+)
+
+// kindCode maps event kinds to their one-letter ns-2-style codes.
+func kindCode(k mac.TraceKind) byte {
+	switch k {
+	case mac.TraceExchangeStart:
+		return 's'
+	case mac.TraceExchangeEnd:
+		return 'r'
+	case mac.TraceBroadcast:
+		return 'b'
+	case mac.TraceCollision:
+		return 'c'
+	case mac.TraceDrop:
+		return 'D'
+	default:
+		return '?'
+	}
+}
+
+// Format renders one event as a trace line (without trailing newline).
+// names resolves node IDs; pass nil to print raw IDs.
+func Format(ev mac.TraceEvent, names func(topology.NodeID) string) string {
+	name := func(id topology.NodeID) string {
+		if id < 0 {
+			return "*"
+		}
+		if names == nil {
+			return fmt.Sprintf("%d", id)
+		}
+		return names(id)
+	}
+	pkt := "<nil>"
+	if ev.Pkt != nil {
+		pkt = ev.Pkt.String()
+	}
+	switch ev.Kind {
+	case mac.TraceExchangeStart, mac.TraceExchangeEnd:
+		return fmt.Sprintf("%c %.6f %s -> %s %s",
+			kindCode(ev.Kind), ev.At.Seconds(), name(ev.Node), name(ev.Peer), pkt)
+	default:
+		return fmt.Sprintf("%c %.6f %s %s",
+			kindCode(ev.Kind), ev.At.Seconds(), name(ev.Node), pkt)
+	}
+}
+
+// Writer streams trace lines to an io.Writer.
+type Writer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	names func(topology.NodeID) string
+	err   error
+	lines int64
+}
+
+var _ mac.Tracer = (*Writer)(nil)
+
+// NewWriter traces to w, resolving node names with names (may be nil).
+func NewWriter(w io.Writer, names func(topology.NodeID) string) *Writer {
+	return &Writer{w: w, names: names}
+}
+
+// Trace implements mac.Tracer.
+func (t *Writer) Trace(ev mac.TraceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintln(t.w, Format(ev, t.names))
+	if t.err == nil {
+		t.lines++
+	}
+}
+
+// Lines returns the number of lines successfully written.
+func (t *Writer) Lines() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lines
+}
+
+// Err returns the first write error, if any.
+func (t *Writer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Ring keeps the last N events in memory — cheap always-on tracing for
+// post-mortem inspection in tests.
+type Ring struct {
+	mu     sync.Mutex
+	events []mac.TraceEvent
+	next   int
+	filled bool
+}
+
+var _ mac.Tracer = (*Ring)(nil)
+
+// NewRing creates a ring holding up to n events.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 1
+	}
+	return &Ring{events: make([]mac.TraceEvent, n)}
+}
+
+// Trace implements mac.Tracer.
+func (r *Ring) Trace(ev mac.TraceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events[r.next] = ev
+	r.next = (r.next + 1) % len(r.events)
+	if r.next == 0 {
+		r.filled = true
+	}
+}
+
+// Events returns the buffered events, oldest first.
+func (r *Ring) Events() []mac.TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []mac.TraceEvent
+	if r.filled {
+		out = append(out, r.events[r.next:]...)
+	}
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Count returns how many events are buffered.
+func (r *Ring) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled {
+		return len(r.events)
+	}
+	return r.next
+}

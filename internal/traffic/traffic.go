@@ -1,0 +1,92 @@
+// Package traffic generates workloads for the packet simulator. The
+// paper's evaluation drives every flow with a constant bit rate source
+// of 200 packets per second and 512-byte packets; sources are greedy
+// relative to the achievable shares, keeping every flow backlogged.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+
+	"e2efair/internal/flow"
+	"e2efair/internal/mac"
+	"e2efair/internal/sim"
+	"e2efair/internal/topology"
+)
+
+// ErrBadRate is returned for non-positive packet rates.
+var ErrBadRate = errors.New("traffic: packet rate must be positive")
+
+// phaseInject matches the MAC's injection phase ordering: packet
+// arrivals happen after transmissions complete at the same instant.
+const phaseInject sim.Phase = 1
+
+// CBRConfig describes one constant-bit-rate source.
+type CBRConfig struct {
+	Flow         *flow.Flow
+	PacketsPerS  float64
+	PayloadBytes int
+	// Offset staggers the first packet to avoid synchronized sources.
+	Offset sim.Time
+	// Until stops generation (exclusive); zero means no packets.
+	Until sim.Time
+	// OnSourceDrop is called when the source queue rejects a packet.
+	OnSourceDrop func(p *mac.Packet, now sim.Time)
+}
+
+// StartCBR schedules a CBR source onto the engine, injecting packets
+// into the medium at fixed intervals.
+func StartCBR(eng *sim.Engine, medium *mac.Medium, cfg CBRConfig) error {
+	if cfg.PacketsPerS <= 0 {
+		return fmt.Errorf("%w: %g", ErrBadRate, cfg.PacketsPerS)
+	}
+	if cfg.PayloadBytes <= 0 {
+		return fmt.Errorf("traffic: payload must be positive, got %d", cfg.PayloadBytes)
+	}
+	interval := sim.Time(float64(sim.Second) / cfg.PacketsPerS)
+	if interval <= 0 {
+		interval = 1
+	}
+	src := &cbrSource{
+		eng:      eng,
+		medium:   medium,
+		cfg:      cfg,
+		interval: interval,
+		path:     cfg.Flow.Path(),
+	}
+	if cfg.Offset >= cfg.Until {
+		return nil
+	}
+	return eng.Schedule(cfg.Offset, phaseInject, src.emit)
+}
+
+type cbrSource struct {
+	eng      *sim.Engine
+	medium   *mac.Medium
+	cfg      CBRConfig
+	interval sim.Time
+	path     []topology.NodeID
+	seq      int64
+}
+
+// emit injects one packet and schedules the next arrival.
+func (s *cbrSource) emit() {
+	now := s.eng.Now()
+	p := &mac.Packet{
+		Flow:         s.cfg.Flow.ID(),
+		Seq:          s.seq,
+		Path:         s.path,
+		Hop:          0,
+		PayloadBytes: s.cfg.PayloadBytes,
+		Born:         now,
+	}
+	s.seq++
+	ok, err := s.medium.Inject(p)
+	if err == nil && !ok && s.cfg.OnSourceDrop != nil {
+		s.cfg.OnSourceDrop(p, now)
+	}
+	next := now + s.interval
+	if next < s.cfg.Until {
+		_ = s.eng.Schedule(next, phaseInject, s.emit)
+	}
+}

@@ -1,0 +1,249 @@
+// Package transport adds an end-to-end reliable transport on top of
+// the simulated network: a sliding-window ARQ with retransmission
+// timers. The paper's end-to-end throughput argument assumes "an
+// effective reliable transport protocol" — with one in place, every
+// packet dropped downstream forces a retransmission that consumes
+// upstream bandwidth again, so an allocation that over-drives upstream
+// subflows (802.11, two-tier) pays twice, while 2PA's balanced hops
+// retransmit almost nothing. Goodput (unique data delivered) makes the
+// paper's "wasted bandwidth" concrete.
+//
+// Acknowledgements are modelled out of band (zero airtime): the paper
+// does not allocate reverse-path bandwidth, and e2e ACKs are an order
+// of magnitude smaller than data frames. Retransmitted data packets
+// pay full price through the MAC.
+package transport
+
+import (
+	"errors"
+
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+	"e2efair/internal/mac"
+	"e2efair/internal/netsim"
+	"e2efair/internal/sim"
+	"e2efair/internal/stats"
+	"e2efair/internal/topology"
+)
+
+// ErrBadWindow is returned for non-positive window sizes.
+var ErrBadWindow = errors.New("transport: window must be positive")
+
+// Config parameterizes a reliable-transport run.
+type Config struct {
+	// Net is the underlying network/protocol configuration.
+	Net netsim.Config
+	// Window is the per-flow sliding window in packets (default 16).
+	Window int
+	// RTO is the retransmission timeout (default 500 ms).
+	RTO sim.Time
+	// MaxRetx bounds retransmissions per packet; beyond it the packet
+	// is abandoned (default 10).
+	MaxRetx int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 16
+	}
+	if c.RTO == 0 {
+		c.RTO = 500 * sim.Millisecond
+	}
+	if c.MaxRetx == 0 {
+		c.MaxRetx = 10
+	}
+	return c
+}
+
+// FlowResult reports one flow's transport-level outcome.
+type FlowResult struct {
+	// Goodput is the number of distinct sequence numbers delivered.
+	Goodput int64
+	// Transmissions counts data-packet injections at the source,
+	// including retransmissions.
+	Transmissions int64
+	// Retransmissions counts injections beyond the first per sequence
+	// number.
+	Retransmissions int64
+	// Abandoned counts sequence numbers given up after MaxRetx.
+	Abandoned int64
+}
+
+// Result reports a run.
+type Result struct {
+	Protocol netsim.Protocol
+	Duration sim.Time
+	PerFlow  map[flow.ID]*FlowResult
+	// Stats is the underlying hop-level collector (loss ratios
+	// comparable with the CBR experiments).
+	Stats *stats.Collector
+}
+
+// TotalGoodput sums goodput over flows.
+func (r *Result) TotalGoodput() int64 {
+	var sum int64
+	for _, fr := range r.PerFlow {
+		sum += fr.Goodput
+	}
+	return sum
+}
+
+// RetransmissionOverhead returns retransmissions / transmissions, the
+// fraction of source sends that were repeats.
+func (r *Result) RetransmissionOverhead() float64 {
+	var retx, tx int64
+	for _, fr := range r.PerFlow {
+		retx += fr.Retransmissions
+		tx += fr.Transmissions
+	}
+	if tx == 0 {
+		return 0
+	}
+	return float64(retx) / float64(tx)
+}
+
+// conn is per-flow ARQ state at the source.
+type conn struct {
+	f        *flow.Flow
+	res      *FlowResult
+	nextSeq  int64
+	inflight map[int64]int  // seq → retransmission count
+	acked    map[int64]bool // delivered sequence numbers (dedup)
+	window   int
+}
+
+// runner holds one run's shared state.
+type runner struct {
+	cfg   Config
+	net   netsim.Config
+	stack *netsim.Stack
+	col   *stats.Collector
+	conns map[flow.ID]*conn
+}
+
+// Run drives every flow with a greedy reliable sender over the
+// configured protocol stack.
+func Run(inst *core.Instance, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Window <= 0 {
+		return nil, ErrBadWindow
+	}
+	r := &runner{
+		cfg:   cfg,
+		col:   stats.NewCollector(),
+		conns: make(map[flow.ID]*conn, inst.Flows.Len()),
+	}
+	hooks := mac.Hooks{
+		OnDelivered: r.onDelivered,
+		OnRetryDrop: func(p *mac.Packet, _ sim.Time) { r.col.RetryDrop(p.Hop >= 1) },
+		OnCollision: func(_ topology.NodeID, _ sim.Time) { r.col.Collision() },
+	}
+	stack, err := netsim.NewStack(inst, cfg.Net, hooks)
+	if err != nil {
+		return nil, err
+	}
+	r.stack = stack
+	r.net = stack.Config
+
+	res := &Result{
+		Protocol: r.net.Protocol,
+		Duration: r.net.Duration,
+		PerFlow:  make(map[flow.ID]*FlowResult, inst.Flows.Len()),
+		Stats:    r.col,
+	}
+	for _, f := range inst.Flows.Flows() {
+		c := &conn{
+			f:        f,
+			res:      &FlowResult{},
+			inflight: make(map[int64]int),
+			acked:    make(map[int64]bool),
+			window:   cfg.Window,
+		}
+		r.conns[f.ID()] = c
+		res.PerFlow[f.ID()] = c.res
+		cc := c
+		if err := stack.Engine.Schedule(0, 1, func() { r.sendWindow(cc) }); err != nil {
+			return nil, err
+		}
+	}
+	stack.Engine.Run(r.net.Duration)
+	return res, nil
+}
+
+// onDelivered forwards packets hop by hop and treats final-hop arrival
+// as an out-of-band cumulative ACK.
+func (r *runner) onDelivered(p *mac.Packet, _ sim.Time) {
+	r.col.HopDelivered(p.SubflowID(), p.LastHop())
+	if !p.LastHop() {
+		p.Hop++
+		ok, err := r.stack.Medium.Inject(p)
+		if err == nil && !ok {
+			r.col.QueueDrop(true)
+		}
+		return
+	}
+	c := r.conns[p.Flow]
+	if c == nil {
+		return
+	}
+	if !c.acked[p.Seq] {
+		c.acked[p.Seq] = true
+		c.res.Goodput++
+	}
+	delete(c.inflight, p.Seq)
+	r.sendWindow(c)
+}
+
+// sendWindow tops the connection up to its window.
+func (r *runner) sendWindow(c *conn) {
+	if r.stack.Engine.Now() >= r.net.Duration {
+		return
+	}
+	for len(c.inflight) < c.window {
+		seq := c.nextSeq
+		c.nextSeq++
+		r.inject(c, seq, 0)
+	}
+}
+
+// inject sends (or resends) one sequence number and arms its RTO.
+func (r *runner) inject(c *conn, seq int64, retx int) {
+	p := &mac.Packet{
+		Flow:         c.f.ID(),
+		Seq:          seq,
+		Path:         c.f.Path(),
+		PayloadBytes: r.net.PayloadBytes,
+		Born:         r.stack.Engine.Now(),
+	}
+	ok, err := r.stack.Medium.Inject(p)
+	if err == nil && ok {
+		c.res.Transmissions++
+		if retx > 0 {
+			c.res.Retransmissions++
+		}
+	} else if err == nil {
+		// Source queue full; the RTO will try again.
+		r.col.QueueDrop(false)
+	}
+	c.inflight[seq] = retx
+	_ = r.stack.Engine.After(r.cfg.RTO, 1, func() { r.onTimeout(c, seq) })
+}
+
+// onTimeout retransmits an unacknowledged sequence number or abandons
+// it past the retry budget.
+func (r *runner) onTimeout(c *conn, seq int64) {
+	retx, live := c.inflight[seq]
+	if !live || c.acked[seq] {
+		return
+	}
+	if retx+1 > r.cfg.MaxRetx {
+		delete(c.inflight, seq)
+		c.res.Abandoned++
+		r.sendWindow(c)
+		return
+	}
+	if r.stack.Engine.Now() >= r.net.Duration {
+		return
+	}
+	r.inject(c, seq, retx+1)
+}

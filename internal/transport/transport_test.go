@@ -1,0 +1,111 @@
+package transport_test
+
+import (
+	"errors"
+	"testing"
+
+	"e2efair/internal/netsim"
+	"e2efair/internal/scenario"
+	"e2efair/internal/sim"
+	"e2efair/internal/transport"
+)
+
+func run(t *testing.T, p netsim.Protocol, dur sim.Time) *transport.Result {
+	t.Helper()
+	sc, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transport.Run(sc.Inst, transport.Config{
+		Net: netsim.Config{Protocol: p, Duration: dur, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBadWindow(t *testing.T) {
+	sc, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = transport.Run(sc.Inst, transport.Config{
+		Net:    netsim.Config{Protocol: netsim.Protocol2PAC, Duration: sim.Second},
+		Window: -1,
+	})
+	if !errors.Is(err, transport.ErrBadWindow) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReliableDelivery2PA(t *testing.T) {
+	res := run(t, netsim.Protocol2PAC, 30*sim.Second)
+	for id, fr := range res.PerFlow {
+		if fr.Goodput == 0 {
+			t.Errorf("flow %s: zero goodput", id)
+		}
+		if fr.Transmissions < fr.Goodput {
+			t.Errorf("flow %s: %d transmissions < %d goodput", id, fr.Transmissions, fr.Goodput)
+		}
+	}
+	if res.RetransmissionOverhead() > 0.05 {
+		t.Errorf("2PA retransmission overhead %.3f should be tiny", res.RetransmissionOverhead())
+	}
+}
+
+// TestRetransmissionOverheadOrdering is the transport-level version of
+// the paper's waste argument: protocols that over-drive upstream hops
+// burn sends on packets that die downstream.
+func TestRetransmissionOverheadOrdering(t *testing.T) {
+	r2pa := run(t, netsim.Protocol2PAC, 30*sim.Second)
+	rtt := run(t, netsim.ProtocolTwoTier, 30*sim.Second)
+	if !(r2pa.RetransmissionOverhead() < rtt.RetransmissionOverhead()) {
+		t.Errorf("2PA overhead %.3f should be below two-tier %.3f",
+			r2pa.RetransmissionOverhead(), rtt.RetransmissionOverhead())
+	}
+	if !(r2pa.TotalGoodput() > rtt.TotalGoodput()) {
+		t.Errorf("2PA goodput %d should beat two-tier %d",
+			r2pa.TotalGoodput(), rtt.TotalGoodput())
+	}
+}
+
+func TestWindowLimitsInflight(t *testing.T) {
+	sc, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transport.Run(sc.Inst, transport.Config{
+		Net:    netsim.Config{Protocol: netsim.Protocol2PAC, Duration: 5 * sim.Second, Seed: 2},
+		Window: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 1 caps throughput at one packet per round trip; far below
+	// saturation but strictly positive.
+	for id, fr := range res.PerFlow {
+		if fr.Goodput == 0 {
+			t.Errorf("flow %s: zero goodput at window 1", id)
+		}
+	}
+	wide, err := transport.Run(sc.Inst, transport.Config{
+		Net:    netsim.Config{Protocol: netsim.Protocol2PAC, Duration: 5 * sim.Second, Seed: 2},
+		Window: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.TotalGoodput() <= res.TotalGoodput() {
+		t.Errorf("window 32 goodput %d should exceed window 1 goodput %d",
+			wide.TotalGoodput(), res.TotalGoodput())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := run(t, netsim.Protocol2PAC, 5*sim.Second)
+	b := run(t, netsim.Protocol2PAC, 5*sim.Second)
+	if a.TotalGoodput() != b.TotalGoodput() {
+		t.Error("transport runs not deterministic")
+	}
+}
