@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Micro + macro benchmarks: clique enumeration, event engine, parallel
+# sweeps, plus the package-level reference comparisons. Pipe two runs
+# through benchstat to quantify a change.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

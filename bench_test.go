@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"e2efair/internal/contention"
 	"e2efair/internal/core"
 	"e2efair/internal/dsr"
 	"e2efair/internal/flow"
@@ -320,6 +321,112 @@ func BenchmarkAblationQueueCap(b *testing.B) {
 			}
 		})
 	}
+}
+
+// randomContentionGraph builds a seeded Erdős–Rényi contention graph
+// with n single-hop flows as vertices, the shape of a dense subflow
+// contention structure far beyond the paper's scenarios.
+func randomContentionGraph(b *testing.B, n int, p float64, seed int64) *contention.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var subs []flow.Subflow
+	for i := 0; i < n; i++ {
+		f, err := flow.New(flow.ID(fmt.Sprintf("F%d", i)), 1,
+			[]topology.NodeID{topology.NodeID(2 * i), topology.NodeID(2*i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs = append(subs, f.Subflows()...)
+	}
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	g, err := contention.NewGraphFromEdges(subs, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchCliques enumerates maximal cliques of an n-vertex random graph
+// per iteration: the Phase-1 hot path at sizes the bitset rewrite
+// targets.
+func benchCliques(b *testing.B, n int, p float64) {
+	g := randomContentionGraph(b, n, p, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	cliques := 0
+	for i := 0; i < b.N; i++ {
+		cliques = len(g.MaximalCliques())
+	}
+	b.ReportMetric(float64(cliques), "cliques")
+}
+
+func BenchmarkCliques64(b *testing.B)  { benchCliques(b, 64, 0.15) }
+func BenchmarkCliques128(b *testing.B) { benchCliques(b, 128, 0.15) }
+func BenchmarkCliques256(b *testing.B) { benchCliques(b, 256, 0.10) }
+
+// BenchmarkCliquesVisit128 measures the zero-copy visitor entry point:
+// the enumeration inner loop with no per-clique result allocation —
+// this is the ~0 allocs/op path.
+func BenchmarkCliquesVisit128(b *testing.B) {
+	g := randomContentionGraph(b, 128, 0.15, 9)
+	g.VisitMaximalCliques(func([]int) {}) // warm the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	cliques := 0
+	for i := 0; i < b.N; i++ {
+		cliques = 0
+		g.VisitMaximalCliques(func([]int) { cliques++ })
+	}
+	b.ReportMetric(float64(cliques), "cliques")
+}
+
+// BenchmarkCliquesContaining128 measures the distributed first phase's
+// per-vertex local enumeration.
+func BenchmarkCliquesContaining128(b *testing.B) {
+	g := randomContentionGraph(b, 128, 0.15, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total = len(g.CliquesContaining(i % 128))
+	}
+	b.ReportMetric(float64(total), "cliques")
+}
+
+// BenchmarkParallelSweep compares a (scenario × protocol × seed) sweep
+// run sequentially against the RunParallel worker pool. On a
+// multi-core host the parallel variant approaches linear scaling; the
+// determinism test in internal/netsim pins both to identical results.
+func BenchmarkParallelSweep(b *testing.B) {
+	sc1 := mustScenario(b, scenario.Figure1)
+	sc6 := mustScenario(b, scenario.Figure6)
+	jobs := netsim.SweepJobs(
+		[]*core.Instance{sc1.Inst, sc6.Inst},
+		netsim.Config{Duration: 2 * sim.Second},
+		[]netsim.Protocol{netsim.Protocol80211, netsim.ProtocolTwoTier, netsim.Protocol2PAC},
+		[]int64{1, 2},
+	)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := netsim.RunParallel(jobs, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := netsim.RunParallel(jobs, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSimulatorEventRate measures raw simulator performance:

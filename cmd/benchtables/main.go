@@ -5,19 +5,27 @@
 // Paper-reported values are printed alongside for comparison; see
 // EXPERIMENTS.md for the expected correspondences.
 //
+// Independent simulations (the protocol rows of Tables II/III and the
+// random-network sweep) fan out across a netsim.RunParallel worker
+// pool; results and printed tables are bit-identical to sequential
+// runs.
+//
 // Usage:
 //
 //	benchtables                  # everything, 200 simulated seconds
 //	benchtables -duration 1000   # full paper-length simulations
 //	benchtables -only tableII
+//	benchtables -json BENCH_tables.json   # machine-readable metrics + timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sort"
+	"time"
 
 	"e2efair/internal/core"
 	"e2efair/internal/flow"
@@ -30,40 +38,87 @@ import (
 	"e2efair/internal/transport"
 )
 
+// Report is the machine-readable run summary written by -json: per
+// section, the paper metrics of every table row plus wall-clock
+// timings, so successive PRs can track the perf trajectory in
+// BENCH_*.json files.
+type Report struct {
+	DurationSec   float64    `json:"durationSec"`
+	Seed          int64      `json:"seed"`
+	TotalWallSecs float64    `json:"totalWallSeconds"`
+	Sections      []*Section `json:"sections"`
+}
+
+// Section is one table or figure of the report.
+type Section struct {
+	Name     string  `json:"name"`
+	WallSecs float64 `json:"wallSeconds"`
+	Entries  []Entry `json:"entries,omitempty"`
+}
+
+// Entry is one labelled row of a section (a protocol, a sweep size).
+type Entry struct {
+	Label  string             `json:"label"`
+	Values map[string]float64 `json:"values"`
+}
+
+func (s *Section) add(label string, values map[string]float64) {
+	s.Entries = append(s.Entries, Entry{Label: label, Values: values})
+}
+
 func main() {
 	duration := flag.Float64("duration", 200, "simulated seconds for Tables II/III (paper: 1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII")
+	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility")
+	jsonPath := flag.String("json", "", "write machine-readable metrics and wall-clock timings to this file")
 	flag.Parse()
-	if err := run(*duration, *seed, *only); err != nil {
+	if err := run(*duration, *seed, *only, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(durationSec float64, seed int64, only string) error {
+func run(durationSec float64, seed int64, only, jsonPath string) error {
 	sections := []struct {
 		name string
-		fn   func(float64, int64) error
+		fn   func(float64, int64, *Section) error
 	}{
 		{"fig1", fig1}, {"fig2", fig2}, {"fig4", fig4}, {"fig5", fig5},
 		{"fig6", fig6}, {"tableI", tableI}, {"tableII", tableII}, {"tableIII", tableIII},
 		{"ideal", ideal}, {"transport", reliableTransport}, {"random", randomSweep},
 		{"mobility", mobilitySection},
 	}
+	report := &Report{DurationSec: durationSec, Seed: seed}
+	start := time.Now()
 	ran := false
 	for _, s := range sections {
 		if only != "" && only != s.name {
 			continue
 		}
 		ran = true
-		if err := s.fn(durationSec, seed); err != nil {
+		sec := &Section{Name: s.name}
+		secStart := time.Now()
+		if err := s.fn(durationSec, seed, sec); err != nil {
 			return fmt.Errorf("%s: %w", s.name, err)
 		}
+		sec.WallSecs = time.Since(secStart).Seconds()
+		report.Sections = append(report.Sections, sec)
 		fmt.Println()
 	}
 	if !ran {
 		return fmt.Errorf("unknown section %q", only)
+	}
+	report.TotalWallSecs = time.Since(start).Seconds()
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d sections, %.2fs wall)\n", jsonPath, len(report.Sections), report.TotalWallSecs)
 	}
 	return nil
 }
@@ -81,7 +136,15 @@ func flows(alloc core.FlowAllocation) string {
 	return out
 }
 
-func fig1(_ float64, _ int64) error {
+func recordAlloc(sec *Section, label string, alloc core.FlowAllocation) {
+	values := map[string]float64{"totalB": alloc.TotalEffectiveThroughput()}
+	for id, r := range alloc {
+		values[string(id)] = r
+	}
+	sec.add(label, values)
+}
+
+func fig1(_ float64, _ int64, sec *Section) error {
 	fmt.Println("== Fig. 1 worked example (Secs. I, III-B) ==")
 	sc, err := scenario.Figure1()
 	if err != nil {
@@ -89,20 +152,23 @@ func fig1(_ float64, _ int64) error {
 	}
 	fair := core.FairnessConstrained(sc.Inst)
 	fmt.Printf("fairness constraint:  %s   (paper: F1=1/3 F2=1/3, total 2B/3)\n", flows(fair))
+	recordAlloc(sec, "fairness", fair)
 	opt, err := core.CentralizedAllocate(sc.Inst, core.CentralizedOptions{Refine: true})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("basic-fairness LP:    %s   (paper: F1=1/2 F2=1/4, total 3B/4)\n", flows(opt))
+	recordAlloc(sec, "2pa-c", opt)
 	tt := core.TwoTierAllocate(sc.Inst)
 	fmt.Printf("two-tier subflows:    F1.1=%.4f F1.2=%.4f F2.1=%.4f F2.2=%.4f (paper: 3/4, 1/4, 3/8, 3/8)\n",
 		tt[sf("F1", 0)], tt[sf("F1", 1)], tt[sf("F2", 0)], tt[sf("F2", 1)])
 	e2e := tt.EndToEnd(sc.Flows)
 	fmt.Printf("two-tier end-to-end:  %s   total %.4f (paper: 5B/8)\n", flows(e2e), e2e.TotalEffectiveThroughput())
+	recordAlloc(sec, "two-tier", e2e)
 	return nil
 }
 
-func fig2(_ float64, _ int64) error {
+func fig2(_ float64, _ int64, sec *Section) error {
 	fmt.Println("== Fig. 2 fairness definitions (Sec. II-C) ==")
 	single, err := scenario.Figure2Single()
 	if err != nil {
@@ -110,21 +176,24 @@ func fig2(_ float64, _ int64) error {
 	}
 	fair := core.FairnessConstrained(single.Inst)
 	fmt.Printf("(a) single-hop, weights (2,1): %s   (paper: 2B/3, B/3)\n", flows(fair))
+	recordAlloc(sec, "single-hop", fair)
 	multi, err := scenario.Figure2Multi()
 	if err != nil {
 		return err
 	}
 	naive := core.SingleHopShares(multi.Inst)
 	fmt.Printf("(b) naive per-length split:    %s   (paper: end-to-end B/9 for the 3-hop flow)\n", flows(naive))
+	recordAlloc(sec, "naive", naive)
 	opt, err := core.CentralizedAllocate(multi.Inst, core.CentralizedOptions{Refine: true})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("(c) end-to-end fair:           %s   (paper: 2B/5, B/5)\n", flows(opt))
+	recordAlloc(sec, "e2e-fair", opt)
 	return nil
 }
 
-func fig4(_ float64, _ int64) error {
+func fig4(_ float64, _ int64, sec *Section) error {
 	fmt.Println("== Fig. 4 weighted contention graph (Secs. III, IV-C) ==")
 	sc, err := scenario.Figure4()
 	if err != nil {
@@ -132,15 +201,17 @@ func fig4(_ float64, _ int64) error {
 	}
 	basic := core.BasicShares(sc.Inst)
 	fmt.Printf("basic shares: %s   (paper: B/10, B/5, 3B/10, B/5)\n", flows(basic))
+	recordAlloc(sec, "basic", basic)
 	opt, err := core.CentralizedAllocate(sc.Inst, core.CentralizedOptions{Refine: true})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("LP optimum:   %s   (paper: 3B/10, B/5, 3B/10, 7B/10; total 3B/2)\n", flows(opt))
+	recordAlloc(sec, "lp", opt)
 	return nil
 }
 
-func fig5(_ float64, _ int64) error {
+func fig5(_ float64, _ int64, sec *Section) error {
 	fmt.Println("== Fig. 5 pentagon (Sec. III-A) ==")
 	sc, err := scenario.Pentagon()
 	if err != nil {
@@ -162,10 +233,11 @@ func fig5(_ float64, _ int64) error {
 		return err
 	}
 	fmt.Printf("max schedulable symmetric rate: %.4f·B\n", tMax)
+	sec.add("pentagon", map[string]float64{"omega": omega, "maxFairRateB": tMax})
 	return nil
 }
 
-func fig6(_ float64, _ int64) error {
+func fig6(_ float64, _ int64, sec *Section) error {
 	fmt.Println("== Fig. 6 centralized first phase (Sec. IV-B) ==")
 	sc, err := scenario.Figure6()
 	if err != nil {
@@ -176,10 +248,11 @@ func fig6(_ float64, _ int64) error {
 		return err
 	}
 	fmt.Printf("2PA-C: %s   (paper: 1/3, 1/3, 2/3, 1/8, 3/4)\n", flows(opt))
+	recordAlloc(sec, "2pa-c", opt)
 	return nil
 }
 
-func tableI(_ float64, _ int64) error {
+func tableI(_ float64, _ int64, sec *Section) error {
 	fmt.Println("== Table I: distributed local optimization ==")
 	sc, err := scenario.Figure6()
 	if err != nil {
@@ -202,6 +275,7 @@ func tableI(_ float64, _ int64) error {
 	}
 	fmt.Printf("adopted 2PA-D shares: %s\n", flows(res.Shares))
 	fmt.Println("(paper: 1/3, 1/5, 1/4, 1/4, 1/2 — see EXPERIMENTS.md on r̂5)")
+	recordAlloc(sec, "2pa-d", res.Shares)
 	return nil
 }
 
@@ -210,7 +284,7 @@ func sf(id flow.ID, hop int) flow.SubflowID { return flow.SubflowID{Flow: id, Ho
 // ideal runs the Sec. III estimation algorithm: the 2PA allocation
 // executed by a perfectly coordinated TDMA schedule, the upper bound
 // the contention MAC is judged against.
-func ideal(durationSec float64, seed int64) error {
+func ideal(durationSec float64, seed int64, sec *Section) error {
 	fmt.Println("== Ideal estimator (Sec. III): 2PA shares under coordination-free TDMA ==")
 	for _, build := range []func() (*scenario.Scenario, error){scenario.Figure1, scenario.Figure6} {
 		sc, err := build()
@@ -229,22 +303,31 @@ func ideal(durationSec float64, seed int64) error {
 		if err != nil {
 			return err
 		}
+		eff := float64(mac.Stats.TotalEndToEnd()) / float64(res.Stats.TotalEndToEnd())
 		fmt.Printf("%-8s ideal total=%8d pkt  2PA-C total=%8d pkt  MAC efficiency=%.2f  util=%.2f coll=%.3f\n",
 			sc.Name, res.Stats.TotalEndToEnd(), mac.Stats.TotalEndToEnd(),
-			float64(mac.Stats.TotalEndToEnd())/float64(res.Stats.TotalEndToEnd()),
-			mac.Airtime.Utilization(), mac.Airtime.CollisionOverhead())
+			eff, mac.Airtime.Utilization(), mac.Airtime.CollisionOverhead())
+		sec.add(sc.Name, map[string]float64{
+			"idealTotalPkt": float64(res.Stats.TotalEndToEnd()),
+			"macTotalPkt":   float64(mac.Stats.TotalEndToEnd()),
+			"macEfficiency": eff,
+			"utilization":   mac.Airtime.Utilization(),
+		})
 	}
 	return nil
 }
 
 // randomSweep evaluates the allocation strategies across random
 // connected topologies of growing size, reporting the mean total
-// effective throughput and the optimality gap of the distributed form.
-func randomSweep(_ float64, seed int64) error {
+// effective throughput and the optimality gap of the distributed form,
+// then packet-simulates the largest topology across protocols × seeds
+// on the parallel worker pool.
+func randomSweep(durationSec float64, seed int64, sec *Section) error {
 	fmt.Println("== Random-topology sweep: mean total effective throughput (fraction of B) ==")
 	fmt.Printf("%8s%8s%10s%10s%10s%10s%10s%12s\n",
 		"nodes", "flows", "basic", "fairness", "2pa-c", "2pa-d", "two-tier", "distGap")
 	rng := rand.New(rand.NewSource(seed))
+	var last *scenario.Scenario
 	for _, size := range []struct{ nodes, flows int }{{12, 3}, {20, 4}, {30, 6}} {
 		const trials = 10
 		var sums [5]float64
@@ -266,6 +349,7 @@ func randomSweep(_ float64, seed int64) error {
 			if err != nil {
 				continue
 			}
+			last = sc
 			sums[0] += totalOf(core.BasicShares(sc.Inst))
 			sums[1] += totalOf(core.FairnessConstrained(sc.Inst))
 			sums[2] += cent.TotalEffectiveThroughput()
@@ -280,15 +364,48 @@ func randomSweep(_ float64, seed int64) error {
 		d := float64(done)
 		fmt.Printf("%8d%8d%10.3f%10.3f%10.3f%10.3f%10.3f%12.3f\n",
 			size.nodes, size.flows, sums[0]/d, sums[1]/d, sums[2]/d, sums[3]/d, sums[4]/d, gap/d)
+		sec.add(fmt.Sprintf("alloc-n%d", size.nodes), map[string]float64{
+			"basic": sums[0] / d, "fairness": sums[1] / d, "2pa-c": sums[2] / d,
+			"2pa-d": sums[3] / d, "two-tier": sums[4] / d, "distGap": gap / d,
+		})
 	}
 	fmt.Println("(2pa-c dominates two-tier end-to-end and never falls below basic; distGap = 2pa-d / 2pa-c)")
+	if last == nil {
+		return nil
+	}
+	// Packet-level sweep over the last random topology: protocols ×
+	// seeds fanned across the worker pool, a fraction of the table
+	// duration per run.
+	simDur := sim.Time(durationSec / 10 * float64(sim.Second))
+	if simDur < sim.Second {
+		simDur = sim.Second
+	}
+	protocols := []netsim.Protocol{netsim.Protocol80211, netsim.ProtocolTwoTier, netsim.Protocol2PAC}
+	seeds := []int64{seed, seed + 1, seed + 2, seed + 3}
+	jobs := netsim.SweepJobs([]*core.Instance{last.Inst}, netsim.Config{Duration: simDur}, protocols, seeds)
+	results, err := netsim.RunParallel(jobs, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("packet-level sweep on last topology (%d runs of %gs, parallel):\n", len(jobs), simDur.Seconds())
+	for pi, p := range protocols {
+		var pkt, loss float64
+		for si := range seeds {
+			r := results[pi*len(seeds)+si]
+			pkt += float64(r.Stats.TotalEndToEnd()) / simDur.Seconds()
+			loss += r.Stats.LossRatio()
+		}
+		n := float64(len(seeds))
+		fmt.Printf("  %-9s mean %8.1f pkt/s  loss %.4f over %d seeds\n", p, pkt/n, loss/n, len(seeds))
+		sec.add("sim-"+p.String(), map[string]float64{"pktPerS": pkt / n, "lossRatio": loss / n})
+	}
 	return nil
 }
 
 func totalOf(a core.FlowAllocation) float64 { return a.TotalEffectiveThroughput() }
 
 // mobilitySection runs the epochal mobility extension at two speeds.
-func mobilitySection(durationSec float64, seed int64) error {
+func mobilitySection(durationSec float64, seed int64, sec *Section) error {
 	fmt.Println("== Mobility extension: epochal rerouting and reallocation (25 nodes, 3 flows) ==")
 	for _, speed := range []float64{2, 20} {
 		res, err := mobility.Run(mobility.Config{
@@ -310,6 +427,10 @@ func mobilitySection(durationSec float64, seed int64) error {
 		}
 		fmt.Printf("maxSpeed=%4.0f m/s: delivered=%d lost=%d routeBreaks=%d unreachable-epochs=%d\n",
 			speed, res.TotalDelivered, res.TotalLost, res.RouteBreaks, res.Unreachable)
+		sec.add(fmt.Sprintf("speed%.0f", speed), map[string]float64{
+			"delivered": float64(res.TotalDelivered), "lost": float64(res.TotalLost),
+			"routeBreaks": float64(res.RouteBreaks),
+		})
 	}
 	return nil
 }
@@ -317,7 +438,7 @@ func mobilitySection(durationSec float64, seed int64) error {
 // reliableTransport measures end-to-end goodput and retransmission
 // waste under a sliding-window reliable transport: the paper's wasted
 // bandwidth argument.
-func reliableTransport(durationSec float64, seed int64) error {
+func reliableTransport(durationSec float64, seed int64, sec *Section) error {
 	fmt.Println("== Reliable transport: goodput and retransmission waste (Fig. 1) ==")
 	sc, err := scenario.Figure1()
 	if err != nil {
@@ -337,11 +458,18 @@ func reliableTransport(durationSec float64, seed int64) error {
 			abandoned += fr.Abandoned
 		}
 		fmt.Printf("%-9s%10d%10d%12.4f%10d"+"\n", p, res.TotalGoodput(), retx, res.RetransmissionOverhead(), abandoned)
+		sec.add(p.String(), map[string]float64{
+			"goodputPkt":   float64(res.TotalGoodput()),
+			"retx":         float64(retx),
+			"retxOverhead": res.RetransmissionOverhead(),
+		})
 	}
 	return nil
 }
 
-func simTable(title string, sc *scenario.Scenario, protocols []netsim.Protocol, durationSec float64, seed int64, paperNote string) error {
+// simTable runs one protocol table with every row fanned across the
+// worker pool, then prints rows in protocol order.
+func simTable(title string, sc *scenario.Scenario, protocols []netsim.Protocol, durationSec float64, seed int64, paperNote string, sec *Section) error {
 	fmt.Printf("== %s (%g simulated seconds, seed %d) ==\n", title, durationSec, seed)
 	var subs []flow.SubflowID
 	for _, f := range sc.Flows.Flows() {
@@ -354,15 +482,15 @@ func simTable(title string, sc *scenario.Scenario, protocols []netsim.Protocol, 
 		fmt.Printf("%9s", s.String())
 	}
 	fmt.Printf("%10s%8s%8s%7s\n", "totalE2E", "lost", "ratio", "jain")
-	for _, p := range protocols {
-		r, err := netsim.Run(sc.Inst, netsim.Config{
-			Protocol: p,
-			Duration: sim.Time(durationSec * float64(sim.Second)),
-			Seed:     seed,
-		})
-		if err != nil {
-			return err
-		}
+	results, err := netsim.RunAllParallel(sc.Inst, netsim.Config{
+		Duration: sim.Time(durationSec * float64(sim.Second)),
+		Seed:     seed,
+	}, protocols...)
+	if err != nil {
+		return err
+	}
+	for i, p := range protocols {
+		r := results[i]
 		fmt.Printf("%-9s", p)
 		for _, s := range subs {
 			fmt.Printf("%9d", r.Stats.Subflow(s))
@@ -371,14 +499,22 @@ func simTable(title string, sc *scenario.Scenario, protocols []netsim.Protocol, 
 		for _, f := range sc.Flows.Flows() {
 			norm = append(norm, float64(r.Stats.EndToEnd(f.ID()))/f.Weight())
 		}
+		jain := stats.JainIndex(norm)
 		fmt.Printf("%10d%8d%8.4f%7.3f\n",
-			r.Stats.TotalEndToEnd(), r.Stats.Lost(), r.Stats.LossRatio(), stats.JainIndex(norm))
+			r.Stats.TotalEndToEnd(), r.Stats.Lost(), r.Stats.LossRatio(), jain)
+		sec.add(p.String(), map[string]float64{
+			"totalE2EPkt": float64(r.Stats.TotalEndToEnd()),
+			"pktPerS":     float64(r.Stats.TotalEndToEnd()) / durationSec,
+			"lost":        float64(r.Stats.Lost()),
+			"lossRatio":   r.Stats.LossRatio(),
+			"jain":        jain,
+		})
 	}
 	fmt.Println(paperNote)
 	return nil
 }
 
-func tableII(durationSec float64, seed int64) error {
+func tableII(durationSec float64, seed int64, sec *Section) error {
 	sc, err := scenario.Figure1()
 	if err != nil {
 		return err
@@ -387,10 +523,10 @@ func tableII(durationSec float64, seed int64) error {
 		[]netsim.Protocol{netsim.Protocol80211, netsim.ProtocolTwoTier, netsim.Protocol2PAC, netsim.ProtocolDFS},
 		durationSec, seed,
 		"paper @1000s: totals 152485 / 126499 / 167488; loss ratios 0.132 / 0.045 / 0.004\n"+
-			"expected shape: 2PA highest total, near-zero loss, subflows ≈ ½:½:¼:¼")
+			"expected shape: 2PA highest total, near-zero loss, subflows ≈ ½:½:¼:¼", sec)
 }
 
-func tableIII(durationSec float64, seed int64) error {
+func tableIII(durationSec float64, seed int64, sec *Section) error {
 	sc, err := scenario.Figure6()
 	if err != nil {
 		return err
@@ -400,5 +536,5 @@ func tableIII(durationSec float64, seed int64) error {
 		durationSec, seed,
 		"paper @1000s: totals 443204 / 394125 / 422162 / 352341; loss ratios 0.100 / 0.027 / 0.006 / 0.004\n"+
 			"expected shape: loss 2PA-D ≤ 2PA-C ≪ two-tier ≪ 802.11; 2PA-C > two-tier on total;\n"+
-			"2PA-C flow throughputs ∝ (1/3, 1/3, 2/3, 1/8, 3/4)")
+			"2PA-C flow throughputs ∝ (1/3, 1/3, 2/3, 1/8, 3/4)", sec)
 }

@@ -1,0 +1,89 @@
+package contention
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	s := newBitset(130)
+	if len(s) != 3 {
+		t.Fatalf("wordsFor(130) rows = %d words", len(s))
+	}
+	for _, i := range []int{0, 63, 64, 127, 128, 129} {
+		if s.has(i) {
+			t.Fatalf("fresh set has %d", i)
+		}
+		s.set(i)
+		if !s.has(i) {
+			t.Fatalf("set %d not visible", i)
+		}
+	}
+	if s.count() != 6 {
+		t.Fatalf("count = %d", s.count())
+	}
+	s.unset(64)
+	if s.has(64) || s.count() != 5 {
+		t.Fatalf("unset(64) failed: count = %d", s.count())
+	}
+	got := s.appendMembers(nil)
+	if !reflect.DeepEqual(got, []int{0, 63, 127, 128, 129}) {
+		t.Fatalf("members = %v", got)
+	}
+	s.zero()
+	if !s.empty() {
+		t.Fatal("zeroed set not empty")
+	}
+}
+
+func TestBitsetFillTrim(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 128, 200} {
+		s := newBitset(n)
+		s.fill(n)
+		if s.count() != n {
+			t.Fatalf("fill(%d) count = %d", n, s.count())
+		}
+		members := s.appendMembers(nil)
+		if members[0] != 0 || members[len(members)-1] != n-1 {
+			t.Fatalf("fill(%d) members span [%d,%d]", n, members[0], members[len(members)-1])
+		}
+	}
+}
+
+func TestBitsetSetAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 190
+	for trial := 0; trial < 20; trial++ {
+		a, b := newBitset(n), newBitset(n)
+		ref := make(map[int][2]bool)
+		for i := 0; i < n; i++ {
+			inA, inB := rng.Intn(2) == 0, rng.Intn(2) == 0
+			if inA {
+				a.set(i)
+			}
+			if inB {
+				b.set(i)
+			}
+			ref[i] = [2]bool{inA, inB}
+		}
+		inter, diff := newBitset(n), newBitset(n)
+		inter.intersect(a, b)
+		diff.subtract(a, b)
+		wantCount := 0
+		for i := 0; i < n; i++ {
+			if got, want := inter.has(i), ref[i][0] && ref[i][1]; got != want {
+				t.Fatalf("intersect at %d: %v", i, got)
+			}
+			if got, want := diff.has(i), ref[i][0] && !ref[i][1]; got != want {
+				t.Fatalf("subtract at %d: %v", i, got)
+			}
+			if ref[i][0] && ref[i][1] {
+				wantCount++
+			}
+		}
+		if intersectCount(a, b) != wantCount {
+			t.Fatalf("intersectCount = %d, want %d", intersectCount(a, b), wantCount)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package contention
 
 import (
+	"math/bits"
 	"sort"
+	"sync"
 
 	"e2efair/internal/flow"
 )
@@ -10,24 +12,120 @@ import (
 // ascending by vertex index.
 type Clique []int
 
-// MaximalCliques enumerates all maximal cliques of the graph using
-// Bron–Kerbosch with pivoting. These are the paper's "maximum cliques"
-// Ω_1..Ω_J (cliques not contained in another clique, Sec. III-A).
-// Isolated vertices form singleton cliques. Cliques are returned in a
-// deterministic order: sorted lexicographically by member indices.
-func (g *Graph) MaximalCliques() []Clique {
-	n := len(g.subflows)
-	var out []Clique
-	p := make([]int, n)
-	for i := range p {
-		p[i] = i
+// bkScratch holds every buffer Bron–Kerbosch needs: per-depth
+// candidate/excluded/branch bitsets carved from one backing array, the
+// explicitly-owned clique stack r (each emitted clique is copied out,
+// so sibling branches can never alias a shared backing array), and the
+// degeneracy-ordering work areas. Scratch is pooled and re-carved only
+// when the vertex count changes, so steady-state enumeration performs
+// no allocations beyond the result cliques themselves.
+type bkScratch struct {
+	carved    int // universe size the buffers are carved for (0 = none)
+	backing   []uint64
+	p, x, c   []bitset // per-depth P, X, and branch-candidate sets
+	remaining bitset
+	r         []int // current clique stack, owned by the enumeration
+	order     []int
+	deg       []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(bkScratch) }}
+
+func acquireScratch(n int) *bkScratch {
+	sc := scratchPool.Get().(*bkScratch)
+	sc.carve(n)
+	return sc
+}
+
+func releaseScratch(sc *bkScratch) { scratchPool.Put(sc) }
+
+// carve (re)slices the buffers for an n-vertex graph, reusing the
+// backing array when it is already large enough. Depth never exceeds
+// the clique stack (≤ n) plus the root, so n+2 levels always suffice.
+func (sc *bkScratch) carve(n int) {
+	if sc.carved == n {
+		return
 	}
-	g.bronKerbosch(nil, p, nil, &out)
+	w := wordsFor(n)
+	levels := n + 2
+	need := (3*levels + 1) * w
+	if cap(sc.backing) < need {
+		sc.backing = make([]uint64, need)
+	}
+	b := sc.backing[:need]
+	if cap(sc.p) < levels {
+		sc.p = make([]bitset, levels)
+		sc.x = make([]bitset, levels)
+		sc.c = make([]bitset, levels)
+	}
+	sc.p, sc.x, sc.c = sc.p[:levels], sc.x[:levels], sc.c[:levels]
+	for d := 0; d < levels; d++ {
+		sc.p[d] = b[d*w : (d+1)*w : (d+1)*w]
+		sc.x[d] = b[(levels+d)*w : (levels+d+1)*w : (levels+d+1)*w]
+		sc.c[d] = b[(2*levels+d)*w : (2*levels+d+1)*w : (2*levels+d+1)*w]
+	}
+	sc.remaining = b[3*levels*w : need : need]
+	if cap(sc.r) <= n {
+		sc.r = make([]int, 0, n+1)
+	}
+	sc.r = sc.r[:0]
+	if cap(sc.order) < n {
+		sc.order = make([]int, 0, n)
+	}
+	if cap(sc.deg) < n {
+		sc.deg = make([]int, n)
+	}
+	sc.carved = n
+}
+
+// MaximalCliques enumerates all maximal cliques of the graph using
+// Bron–Kerbosch with pivoting over bitsets, rooted at each vertex in
+// degeneracy order. These are the paper's "maximum cliques" Ω_1..Ω_J
+// (cliques not contained in another clique, Sec. III-A). Isolated
+// vertices form singleton cliques. Cliques are returned in a
+// deterministic order: each sorted ascending, the list sorted
+// lexicographically by member indices.
+func (g *Graph) MaximalCliques() []Clique {
+	var out []Clique
+	g.VisitMaximalCliques(func(r []int) {
+		c := make(Clique, len(r))
+		copy(c, r)
+		out = append(out, c)
+	})
 	for _, c := range out {
 		sort.Ints(c)
 	}
 	sort.Slice(out, func(a, b int) bool { return lessIntSlice(out[a], out[b]) })
 	return out
+}
+
+// VisitMaximalCliques calls visit once per maximal clique. The slice
+// passed to visit is reused between calls and is not sorted; callers
+// that retain cliques must copy them. Unlike MaximalCliques it
+// allocates nothing in steady state, and its enumeration order is
+// unspecified.
+func (g *Graph) VisitMaximalCliques(visit func(clique []int)) {
+	n := len(g.subflows)
+	if n == 0 {
+		return
+	}
+	sc := acquireScratch(n)
+	defer releaseScratch(sc)
+	g.degeneracyOrder(sc)
+	remaining := sc.remaining
+	remaining.fill(n)
+	// Root a pivoted search at each vertex v in degeneracy order with
+	// P = later neighbors and X = earlier neighbors (Eppstein–Löffler–
+	// Strash): every branch's candidate set is bounded by the
+	// degeneracy rather than the maximum degree.
+	for _, v := range sc.order {
+		remaining.unset(v)
+		sc.p[1].intersect(g.rows[v], remaining)
+		sc.x[1].subtract(g.rows[v], remaining)
+		sc.r = append(sc.r[:0], v)
+		g.bk(sc, 1, visit)
+	}
+	sc.r = sc.r[:0]
 }
 
 func lessIntSlice(a, b []int) bool {
@@ -39,58 +137,84 @@ func lessIntSlice(a, b []int) bool {
 	return len(a) < len(b)
 }
 
-// bronKerbosch expands clique r with candidates p, excluding x.
-func (g *Graph) bronKerbosch(r, p, x []int, out *[]Clique) {
-	if len(p) == 0 && len(x) == 0 {
-		clique := make(Clique, len(r))
-		copy(clique, r)
-		*out = append(*out, clique)
+// bk expands the clique sc.r with candidates sc.p[depth], excluding
+// sc.x[depth]. Both sets are consumed destructively; all working sets
+// live in the scratch, so the recursion allocates nothing.
+func (g *Graph) bk(sc *bkScratch, depth int, visit func([]int)) {
+	p, x := sc.p[depth], sc.x[depth]
+	if p.empty() && x.empty() {
+		visit(sc.r)
 		return
 	}
-	// Pivot: the vertex of p ∪ x with most neighbors in p minimizes
+	// Pivot: the vertex of P ∪ X with most neighbors in P minimizes
 	// branching.
 	pivot, best := -1, -1
-	for _, cand := range [][]int{p, x} {
-		for _, u := range cand {
-			cnt := 0
-			for _, v := range p {
-				if g.adj[u][v] {
-					cnt++
+	for _, set := range [2]bitset{p, x} {
+		for wi, w := range set {
+			base := wi << 6
+			for w != 0 {
+				u := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				if cnt := intersectCount(p, g.rows[u]); cnt > best {
+					best, pivot = cnt, u
 				}
 			}
-			if cnt > best {
-				best = cnt
-				pivot = u
-			}
 		}
 	}
-	var candidates []int
-	for _, v := range p {
-		if pivot == -1 || !g.adj[pivot][v] {
-			candidates = append(candidates, v)
+	cand := sc.c[depth]
+	cand.subtract(p, g.rows[pivot])
+	np, nx := sc.p[depth+1], sc.x[depth+1]
+	for wi, w := range cand {
+		base := wi << 6
+		for w != 0 {
+			v := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			np.intersect(p, g.rows[v])
+			nx.intersect(x, g.rows[v])
+			sc.r = append(sc.r, v)
+			g.bk(sc, depth+1, visit)
+			sc.r = sc.r[:len(sc.r)-1]
+			// Move v from P to X.
+			p.unset(v)
+			x.set(v)
 		}
 	}
-	for _, v := range candidates {
-		var np, nx []int
-		for _, u := range p {
-			if g.adj[v][u] {
-				np = append(np, u)
+}
+
+// degeneracyOrder fills sc.order by repeatedly removing the vertex of
+// minimum residual degree, smallest index first on ties — a
+// deterministic degeneracy ordering. Residual degrees are maintained
+// with bitset sweeps, O(n²/64) per graph.
+func (g *Graph) degeneracyOrder(sc *bkScratch) {
+	n := len(g.subflows)
+	remaining := sc.remaining
+	remaining.fill(n)
+	deg := sc.deg[:n]
+	copy(deg, g.degrees)
+	sc.order = sc.order[:0]
+	for len(sc.order) < n {
+		pick, pickDeg := -1, n+1
+		for wi, w := range remaining {
+			base := wi << 6
+			for w != 0 {
+				v := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				if deg[v] < pickDeg {
+					pick, pickDeg = v, deg[v]
+				}
 			}
 		}
-		for _, u := range x {
-			if g.adj[v][u] {
-				nx = append(nx, u)
+		remaining.unset(pick)
+		sc.order = append(sc.order, pick)
+		row := g.rows[pick]
+		for wi := range remaining {
+			w := row[wi] & remaining[wi]
+			base := wi << 6
+			for w != 0 {
+				deg[base+bits.TrailingZeros64(w)]--
+				w &= w - 1
 			}
 		}
-		g.bronKerbosch(append(r, v), np, nx, out)
-		// Move v from p to x.
-		for i, u := range p {
-			if u == v {
-				p = append(p[:i:i], p[i+1:]...)
-				break
-			}
-		}
-		x = append(x, v)
 	}
 }
 
@@ -151,11 +275,15 @@ func (g *Graph) GreedyColoring() ([]int, int) {
 	for i := range colors {
 		colors[i] = -1
 	}
+	// used is allocated once and reset by unmarking the same
+	// neighborhood after each vertex, not reallocated per vertex.
+	used := make([]bool, n+1)
+	var nbrs []int
 	maxColor := 0
 	for _, v := range order {
-		used := make(map[int]bool)
-		for u, a := range g.adj[v] {
-			if a && colors[u] >= 0 {
+		nbrs = g.rows[v].appendMembers(nbrs[:0])
+		for _, u := range nbrs {
+			if colors[u] >= 0 {
 				used[colors[u]] = true
 			}
 		}
@@ -166,6 +294,11 @@ func (g *Graph) GreedyColoring() ([]int, int) {
 		colors[v] = c
 		if c+1 > maxColor {
 			maxColor = c + 1
+		}
+		for _, u := range nbrs {
+			if colors[u] >= 0 {
+				used[colors[u]] = false
+			}
 		}
 	}
 	return colors, maxColor
@@ -183,48 +316,34 @@ func ColorClasses(colors []int, numColors int) [][]int {
 }
 
 // CliquesContaining returns the maximal cliques of the graph that
-// contain vertex v, computed from v's closed neighborhood only. This
-// is the local-constructibility property the paper's distributed first
-// phase relies on (citing Huang & Bensaou): every maximal clique
-// through a subflow lies inside that subflow's closed neighborhood,
-// whose members all have an endpoint within transmission range of the
-// subflow's endpoints and are therefore overhearable by its
-// transmitter (directly or via one-hop exchange). The result equals
-// filtering MaximalCliques for v — see TestCliquesContainingIsLocal —
-// but needs no global knowledge.
+// contain vertex v, computed from v's closed neighborhood only: the
+// search is rooted at R = {v}, P = N(v), so it never reads adjacency
+// outside N[v]. This is the local-constructibility property the
+// paper's distributed first phase relies on (citing Huang & Bensaou):
+// every maximal clique through a subflow lies inside that subflow's
+// closed neighborhood, whose members all have an endpoint within
+// transmission range of the subflow's endpoints and are therefore
+// overhearable by its transmitter (directly or via one-hop exchange).
+// The result equals filtering MaximalCliques for v — see
+// TestCliquesContainingIsLocal — but needs no global knowledge.
 func (g *Graph) CliquesContaining(v int) []Clique {
 	if v < 0 || v >= len(g.subflows) {
 		return nil
 	}
-	closed := append(g.Neighbors(v), v)
-	sort.Ints(closed)
-	sub := g.InducedSubgraph(closed)
-	// Index of v within the induced subgraph.
-	vi := -1
-	for i, u := range closed {
-		if u == v {
-			vi = i
-			break
-		}
-	}
+	sc := acquireScratch(len(g.subflows))
 	var out []Clique
-	for _, c := range sub.MaximalCliques() {
-		has := false
-		for _, u := range c {
-			if u == vi {
-				has = true
-				break
-			}
-		}
-		if !has {
-			continue
-		}
-		mapped := make(Clique, len(c))
-		for i, u := range c {
-			mapped[i] = closed[u]
-		}
-		sort.Ints(mapped)
-		out = append(out, mapped)
+	sc.p[1].copyFrom(g.rows[v])
+	sc.x[1].zero()
+	sc.r = append(sc.r[:0], v)
+	g.bk(sc, 1, func(r []int) {
+		c := make(Clique, len(r))
+		copy(c, r)
+		out = append(out, c)
+	})
+	sc.r = sc.r[:0]
+	releaseScratch(sc)
+	for _, c := range out {
+		sort.Ints(c)
 	}
 	sort.Slice(out, func(a, b int) bool { return lessIntSlice(out[a], out[b]) })
 	return out

@@ -21,12 +21,43 @@ import (
 var ErrUnknownSubflow = errors.New("contention: unknown subflow")
 
 // Graph is a subflow contention graph. Vertices are indexed densely in
-// the order the subflows were supplied.
+// the order the subflows were supplied. Adjacency is stored as one
+// word-packed bitset row per vertex, which keeps the Bron–Kerbosch
+// inner loops to a handful of word operations per 64 vertices.
 type Graph struct {
 	subflows []flow.Subflow
 	index    map[flow.SubflowID]int
-	adj      [][]bool
+	rows     []bitset // rows[i] holds the neighbors of vertex i
 	degrees  []int
+}
+
+// newGraphShell builds a graph with the given vertices and no edges.
+// All rows are carved from a single backing array.
+func newGraphShell(subflows []flow.Subflow) *Graph {
+	n := len(subflows)
+	g := &Graph{
+		subflows: make([]flow.Subflow, n),
+		index:    make(map[flow.SubflowID]int, n),
+		rows:     make([]bitset, n),
+		degrees:  make([]int, n),
+	}
+	copy(g.subflows, subflows)
+	w := wordsFor(n)
+	backing := make([]uint64, n*w)
+	for i, s := range g.subflows {
+		g.index[s.ID] = i
+		g.rows[i] = backing[i*w : (i+1)*w : (i+1)*w]
+	}
+	return g
+}
+
+// addEdge connects vertices i and j (idempotence is the caller's
+// concern; NewGraphFromEdges checks first).
+func (g *Graph) addEdge(i, j int) {
+	g.rows[i].set(j)
+	g.rows[j].set(i)
+	g.degrees[i]++
+	g.degrees[j]++
 }
 
 // Contend reports whether subflows a and b spatially contend under the
@@ -57,24 +88,11 @@ func BuildGraph(t *topology.Topology, flows *flow.Set) *Graph {
 // NewGraph constructs the contention graph over an explicit subflow
 // list, which lets callers build local (per-node) graphs.
 func NewGraph(t *topology.Topology, subflows []flow.Subflow) *Graph {
-	g := &Graph{
-		subflows: make([]flow.Subflow, len(subflows)),
-		index:    make(map[flow.SubflowID]int, len(subflows)),
-		adj:      make([][]bool, len(subflows)),
-		degrees:  make([]int, len(subflows)),
-	}
-	copy(g.subflows, subflows)
-	for i, s := range g.subflows {
-		g.index[s.ID] = i
-		g.adj[i] = make([]bool, len(subflows))
-	}
+	g := newGraphShell(subflows)
 	for i := 0; i < len(g.subflows); i++ {
 		for j := i + 1; j < len(g.subflows); j++ {
 			if Contend(t, g.subflows[i], g.subflows[j]) {
-				g.adj[i][j] = true
-				g.adj[j][i] = true
-				g.degrees[i]++
-				g.degrees[j]++
+				g.addEdge(i, j)
 			}
 		}
 	}
@@ -86,27 +104,14 @@ func NewGraph(t *topology.Topology, subflows []flow.Subflow) *Graph {
 // contention structures — such as the paper's pentagon example — that
 // are specified abstractly rather than geometrically.
 func NewGraphFromEdges(subflows []flow.Subflow, edges [][2]int) (*Graph, error) {
-	g := &Graph{
-		subflows: make([]flow.Subflow, len(subflows)),
-		index:    make(map[flow.SubflowID]int, len(subflows)),
-		adj:      make([][]bool, len(subflows)),
-		degrees:  make([]int, len(subflows)),
-	}
-	copy(g.subflows, subflows)
-	for i, s := range g.subflows {
-		g.index[s.ID] = i
-		g.adj[i] = make([]bool, len(subflows))
-	}
+	g := newGraphShell(subflows)
 	for _, e := range edges {
 		i, j := e[0], e[1]
 		if i < 0 || j < 0 || i >= len(subflows) || j >= len(subflows) || i == j {
 			return nil, fmt.Errorf("contention: bad edge (%d,%d) for %d vertices", i, j, len(subflows))
 		}
-		if !g.adj[i][j] {
-			g.adj[i][j] = true
-			g.adj[j][i] = true
-			g.degrees[i]++
-			g.degrees[j]++
+		if !g.rows[i].has(j) {
+			g.addEdge(i, j)
 		}
 	}
 	return g, nil
@@ -132,7 +137,7 @@ func (g *Graph) VertexOf(id flow.SubflowID) (int, error) {
 }
 
 // Adjacent reports whether vertices i and j contend.
-func (g *Graph) Adjacent(i, j int) bool { return g.adj[i][j] }
+func (g *Graph) Adjacent(i, j int) bool { return g.rows[i].has(j) }
 
 // Degree returns the number of contenders of vertex i.
 func (g *Graph) Degree(i int) int { return g.degrees[i] }
@@ -148,13 +153,7 @@ func (g *Graph) NumEdges() int {
 
 // Neighbors returns the vertex indices adjacent to i, ascending.
 func (g *Graph) Neighbors(i int) []int {
-	var out []int
-	for j, a := range g.adj[i] {
-		if a {
-			out = append(out, j)
-		}
-	}
-	return out
+	return g.rows[i].appendMembers(make([]int, 0, g.degrees[i]))
 }
 
 // Components partitions the vertices into connected components, each
@@ -163,6 +162,7 @@ func (g *Graph) Neighbors(i int) []int {
 func (g *Graph) Components() [][]int {
 	seen := make([]bool, len(g.subflows))
 	var comps [][]int
+	var scratch []int
 	for v := range g.subflows {
 		if seen[v] {
 			continue
@@ -174,8 +174,9 @@ func (g *Graph) Components() [][]int {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, u)
-			for w, a := range g.adj[u] {
-				if a && !seen[w] {
+			scratch = g.rows[u].appendMembers(scratch[:0])
+			for _, w := range scratch {
+				if !seen[w] {
 					seen[w] = true
 					stack = append(stack, w)
 				}
@@ -224,9 +225,11 @@ func (g *Graph) FlowGroups() [][]flow.ID {
 	for _, s := range g.subflows {
 		idOf(s.ID.Flow)
 	}
+	var scratch []int
 	for i := 0; i < len(g.subflows); i++ {
-		for j := i + 1; j < len(g.subflows); j++ {
-			if g.adj[i][j] {
+		scratch = g.rows[i].appendMembers(scratch[:0])
+		for _, j := range scratch {
+			if j > i {
 				union(idOf(g.subflows[i].ID.Flow), idOf(g.subflows[j].ID.Flow))
 			}
 		}
@@ -252,23 +255,11 @@ func (g *Graph) InducedSubgraph(vertices []int) *Graph {
 	for i, v := range vertices {
 		subs[i] = g.subflows[v]
 	}
-	sg := &Graph{
-		subflows: subs,
-		index:    make(map[flow.SubflowID]int, len(subs)),
-		adj:      make([][]bool, len(subs)),
-		degrees:  make([]int, len(subs)),
-	}
-	for i, s := range subs {
-		sg.index[s.ID] = i
-		sg.adj[i] = make([]bool, len(subs))
-	}
+	sg := newGraphShell(subs)
 	for i := range vertices {
 		for j := i + 1; j < len(vertices); j++ {
-			if g.adj[vertices[i]][vertices[j]] {
-				sg.adj[i][j] = true
-				sg.adj[j][i] = true
-				sg.degrees[i]++
-				sg.degrees[j]++
+			if g.rows[vertices[i]].has(vertices[j]) {
+				sg.addEdge(i, j)
 			}
 		}
 	}
@@ -280,7 +271,7 @@ func (g *Graph) InducedSubgraph(vertices []int) *Graph {
 func (g *Graph) IsIndependentSet(vertices []int) bool {
 	for i := 0; i < len(vertices); i++ {
 		for j := i + 1; j < len(vertices); j++ {
-			if g.adj[vertices[i]][vertices[j]] {
+			if g.rows[vertices[i]].has(vertices[j]) {
 				return false
 			}
 		}
@@ -293,7 +284,7 @@ func (g *Graph) IsIndependentSet(vertices []int) bool {
 func (g *Graph) IsClique(vertices []int) bool {
 	for i := 0; i < len(vertices); i++ {
 		for j := i + 1; j < len(vertices); j++ {
-			if !g.adj[vertices[i]][vertices[j]] {
+			if !g.rows[vertices[i]].has(vertices[j]) {
 				return false
 			}
 		}

@@ -1,10 +1,6 @@
 package contention
 
-import (
-	"sort"
-
-	"e2efair/internal/flow"
-)
+import "sort"
 
 // Complement returns the complement graph: same vertices, with edges
 // exactly where the original has none. Maximal cliques of the
@@ -12,26 +8,15 @@ import (
 // of subflows that can transmit concurrently.
 func (g *Graph) Complement() *Graph {
 	n := len(g.subflows)
-	out := &Graph{
-		subflows: make([]flow.Subflow, n),
-		index:    make(map[flow.SubflowID]int, n),
-		adj:      make([][]bool, n),
-		degrees:  make([]int, n),
-	}
-	copy(out.subflows, g.subflows)
-	for i, s := range out.subflows {
-		out.index[s.ID] = i
-		out.adj[i] = make([]bool, n)
-	}
+	out := newGraphShell(g.subflows)
 	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if !g.adj[i][j] {
-				out.adj[i][j] = true
-				out.adj[j][i] = true
-				out.degrees[i]++
-				out.degrees[j]++
-			}
+		row := out.rows[i]
+		for wi := range row {
+			row[wi] = ^g.rows[i][wi]
 		}
+		row.unset(i)
+		row.trim(n)
+		out.degrees[i] = row.count()
 	}
 	return out
 }

@@ -4,10 +4,7 @@
 // packet-level wireless simulator that substitutes for ns-2.
 package sim
 
-import (
-	"container/heap"
-	"errors"
-)
+import "errors"
 
 // Time is simulated time in microseconds.
 type Time int64
@@ -38,44 +35,34 @@ type event struct {
 	fn    func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the queue ordering: (time, phase, insertion sequence).
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	if h[i].phase != h[j].phase {
-		return h[i].phase < h[j].phase
+	if e.phase != o.phase {
+		return e.phase < o.phase
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct with NewEngine.
+//
+// The event queue is a hand-rolled binary heap of *event with a free
+// list: executed events are recycled into subsequent Schedule calls,
+// so a simulation whose pending-event count has plateaued schedules
+// with zero allocations.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []*event
+	free    []*event
 	stopped bool
 }
 
 // NewEngine returns an engine at time zero.
-func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
-}
+func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -83,15 +70,86 @@ func (e *Engine) Now() Time { return e.now }
 // Pending returns the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// alloc takes an event from the free list, or the heap when the list
+// is dry.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return new(event)
+}
+
+// recycle returns an executed event to the free list, dropping its
+// closure so the GC can reclaim captured state.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// push inserts an event into the heap (sift-up).
+func (e *Engine) push(ev *event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ev.before(e.events[parent]) {
+			break
+		}
+		e.events[i] = e.events[parent]
+		i = parent
+	}
+	e.events[i] = ev
+}
+
+// pop removes and returns the earliest event (sift-down).
+func (e *Engine) pop() *event {
+	top := e.events[0]
+	n := len(e.events) - 1
+	last := e.events[n]
+	e.events[n] = nil
+	e.events = e.events[:n]
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && e.events[r].before(e.events[child]) {
+			child = r
+		}
+		if !e.events[child].before(last) {
+			break
+		}
+		e.events[i] = e.events[child]
+		i = child
+	}
+	e.events[i] = last
+	return top
+}
+
 // Schedule enqueues fn to run at the given time and phase. Events in
 // the past are rejected.
 func (e *Engine) Schedule(at Time, phase Phase, fn func()) error {
 	if at < e.now {
 		return ErrPast
 	}
+	ev := e.alloc()
 	e.seq++
-	heap.Push(&e.events, &event{at: at, phase: phase, seq: e.seq, fn: fn})
+	ev.at, ev.phase, ev.seq, ev.fn = at, phase, e.seq, fn
+	e.push(ev)
 	return nil
+}
+
+// ScheduleAt is the fast path for the common phase-0 case: it enqueues
+// fn at an absolute time with no phase bookkeeping at the call site.
+func (e *Engine) ScheduleAt(at Time, fn func()) error {
+	return e.Schedule(at, 0, fn)
 }
 
 // After schedules fn to run delay microseconds from now.
@@ -112,13 +170,13 @@ func (e *Engine) Run(until Time) int {
 	e.stopped = false
 	n := 0
 	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.at > until {
+		if e.events[0].at > until {
 			break
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
-		next.fn()
+		ev := e.pop()
+		e.now = ev.at
+		ev.fn()
+		e.recycle(ev)
 		n++
 	}
 	if e.now < until {
