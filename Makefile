@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench
+.PHONY: build test race bench bench-lp
 
 build:
 	$(GO) build ./...
@@ -17,3 +17,9 @@ race:
 # through benchstat to quantify a change.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# LP-solver perf trajectory: ns/op and allocs/op for cold solves,
+# warm-started re-solves (must be 0 allocs/op) and the distributed
+# first phase, written to BENCH_lp.json for PR-over-PR comparison.
+bench-lp: build
+	$(GO) run ./cmd/benchtables -only lp -json BENCH_lp.json

@@ -273,6 +273,49 @@ func BenchmarkAblationDistributedGap(b *testing.B) {
 	b.ReportMetric(ratio, "distOverCent")
 }
 
+// BenchmarkDistributedAllocate measures the distributed first phase —
+// the per-source-node LP fan-out — on the paper's Fig. 6 topology and
+// on a 30-node random network, comparing a single-worker Allocator
+// against the machine-sized worker pool. The two paths are
+// bit-identical by construction (see TestDistributedParallelBitIdentical);
+// only the wall clock differs.
+func BenchmarkDistributedAllocate(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	random30 := mustScenario(b, func() (*scenario.Scenario, error) {
+		return scenario.Random(scenario.RandomConfig{
+			Nodes: 30, Width: 1100, Height: 1100, Flows: 8, MaxHops: 6,
+		}, rng)
+	})
+	for _, bc := range []struct {
+		name string
+		sc   *scenario.Scenario
+	}{
+		{"fig6", mustScenario(b, scenario.Figure6)},
+		{"random30", random30},
+	} {
+		for _, workers := range []int{1, 0} { // 0 = machine-sized pool
+			name := bc.name + "/sequential"
+			a := core.NewAllocatorWorkers(1)
+			if workers == 0 {
+				name = bc.name + "/parallel"
+				a = core.NewAllocator()
+			}
+			b.Run(name, func(b *testing.B) {
+				var total float64
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := a.Distributed(bc.sc.Inst)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total = res.Shares.TotalEffectiveThroughput()
+				}
+				b.ReportMetric(total, "totalB")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationAlpha sweeps the phase-2 strictness parameter α on
 // the Table II scenario: larger α enforces shares more aggressively.
 func BenchmarkAblationAlpha(b *testing.B) {

@@ -24,11 +24,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
+	"testing"
 	"time"
 
 	"e2efair/internal/core"
 	"e2efair/internal/flow"
+	"e2efair/internal/lp"
 	"e2efair/internal/mobility"
 	"e2efair/internal/netsim"
 	"e2efair/internal/scenario"
@@ -69,7 +72,7 @@ func (s *Section) add(label string, values map[string]float64) {
 func main() {
 	duration := flag.Float64("duration", 200, "simulated seconds for Tables II/III (paper: 1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility")
+	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp")
 	jsonPath := flag.String("json", "", "write machine-readable metrics and wall-clock timings to this file")
 	flag.Parse()
 	if err := run(*duration, *seed, *only, *jsonPath); err != nil {
@@ -86,7 +89,7 @@ func run(durationSec float64, seed int64, only, jsonPath string) error {
 		{"fig1", fig1}, {"fig2", fig2}, {"fig4", fig4}, {"fig5", fig5},
 		{"fig6", fig6}, {"tableI", tableI}, {"tableII", tableII}, {"tableIII", tableIII},
 		{"ideal", ideal}, {"transport", reliableTransport}, {"random", randomSweep},
-		{"mobility", mobilitySection},
+		{"mobility", mobilitySection}, {"lp", lpSection},
 	}
 	report := &Report{DurationSec: durationSec, Seed: seed}
 	start := time.Now()
@@ -537,4 +540,134 @@ func tableIII(durationSec float64, seed int64, sec *Section) error {
 		"paper @1000s: totals 443204 / 394125 / 422162 / 352341; loss ratios 0.100 / 0.027 / 0.006 / 0.004\n"+
 			"expected shape: loss 2PA-D ≤ 2PA-C ≪ two-tier ≪ 802.11; 2PA-C > two-tier on total;\n"+
 			"2PA-C flow throughputs ∝ (1/3, 1/3, 2/3, 1/8, 3/4)", sec)
+}
+
+// lpSection measures the LP-solver fast path added by the flat-tableau
+// reusable Solver: cold solves against the retained reference, the
+// warm-started steady-state re-solve loop (which must not allocate),
+// and the distributed first phase on sequential vs machine-sized
+// worker pools. Emitted to BENCH_lp.json by `make bench-lp`.
+func lpSection(_ float64, _ int64, sec *Section) error {
+	fmt.Println("== LP solver fast path ==")
+	// The Fig. 6 centralized LP: 5 flows, 5 clique rows, 5 floors.
+	buildFig6 := func() (*lp.Problem, error) {
+		p := lp.NewProblem(5)
+		if err := p.SetObjective([]float64{1, 1, 1, 1, 1}); err != nil {
+			return nil, err
+		}
+		rows := [][]float64{
+			{3, 0, 0, 0, 0}, {2, 1, 0, 0, 0}, {0, 1, 1, 0, 0}, {0, 0, 1, 1, 0}, {0, 0, 0, 2, 1},
+		}
+		for _, r := range rows {
+			if err := p.AddLE(r, 1); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < 5; i++ {
+			if err := p.LowerBound(i, 0.125); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+
+	// nsPerOp times f with iteration-count calibration (≥100ms of
+	// samples), mirroring the testing package's methodology.
+	nsPerOp := func(f func() error) (float64, error) {
+		for iters := 64; ; iters *= 4 {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := f(); err != nil {
+					return 0, err
+				}
+			}
+			if el := time.Since(start); el >= 100*time.Millisecond || iters >= 1<<22 {
+				return float64(el.Nanoseconds()) / float64(iters), nil
+			}
+		}
+	}
+
+	p, err := buildFig6()
+	if err != nil {
+		return err
+	}
+
+	s := lp.NewSolver()
+	var sol lp.Solution
+	coldNs, err := nsPerOp(func() error { return s.SolveInto(p, &sol) })
+	if err != nil {
+		return err
+	}
+	coldAllocs := testing.AllocsPerRun(200, func() {
+		if err := s.SolveInto(p, &sol); err != nil {
+			panic(err)
+		}
+	})
+	sec.add("solveCold", map[string]float64{"nsPerOp": coldNs, "allocsPerOp": coldAllocs})
+	fmt.Printf("cold solve (reusable Solver):    %10.0f ns/op  %6.1f allocs/op\n", coldNs, coldAllocs)
+
+	refNs, err := nsPerOp(func() error { _, err := lp.Solve(p); return err })
+	if err != nil {
+		return err
+	}
+	refAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := lp.Solve(p); err != nil {
+			panic(err)
+		}
+	})
+	sec.add("solveReference", map[string]float64{"nsPerOp": refNs, "allocsPerOp": refAllocs})
+	fmt.Printf("cold solve (seed reference):     %10.0f ns/op  %6.1f allocs/op\n", refNs, refAllocs)
+
+	if err := s.SolveInto(p, &sol); err != nil {
+		return err
+	}
+	basis := s.Basis()
+	tick := 0
+	warm := func() error {
+		tick++
+		rhs := 1.0
+		if tick%2 == 0 {
+			rhs = 0.95
+		}
+		if err := p.SetRHS(1, rhs); err != nil {
+			return err
+		}
+		if err := s.SolveFromInto(p, basis, &sol); err != nil {
+			return err
+		}
+		basis = s.AppendBasis(basis[:0])
+		return nil
+	}
+	warmNs, err := nsPerOp(warm)
+	if err != nil {
+		return err
+	}
+	warmAllocs := testing.AllocsPerRun(200, func() {
+		if err := warm(); err != nil {
+			panic(err)
+		}
+	})
+	sec.add("warmResolve", map[string]float64{"nsPerOp": warmNs, "allocsPerOp": warmAllocs})
+	fmt.Printf("warm-started re-solve:           %10.0f ns/op  %6.1f allocs/op\n", warmNs, warmAllocs)
+
+	sc, err := scenario.Figure6()
+	if err != nil {
+		return err
+	}
+	seqAlloc := core.NewAllocatorWorkers(1)
+	seqNs, err := nsPerOp(func() error { _, err := seqAlloc.Distributed(sc.Inst); return err })
+	if err != nil {
+		return err
+	}
+	sec.add("distributedSequential", map[string]float64{"nsPerOp": seqNs})
+	fmt.Printf("DistributedAllocate sequential:  %10.0f ns/op\n", seqNs)
+
+	parAlloc := core.NewAllocator()
+	parNs, err := nsPerOp(func() error { _, err := parAlloc.Distributed(sc.Inst); return err })
+	if err != nil {
+		return err
+	}
+	sec.add("distributedParallel", map[string]float64{"nsPerOp": parNs})
+	fmt.Printf("DistributedAllocate parallel:    %10.0f ns/op  (%d workers)\n", parNs, runtime.GOMAXPROCS(0))
+	return nil
 }

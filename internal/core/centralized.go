@@ -27,10 +27,22 @@ type CentralizedOptions struct {
 // solution is additionally the lexicographically weighted-max-min
 // fairest point among all optima, which makes the result deterministic
 // and matches the solutions tabulated in the paper.
+//
+// Each call builds fresh solver state; hold an Allocator and call its
+// Centralized method to reuse tableau scratch and warm-start repeated
+// allocations (churn re-solves, sweeps).
 func CentralizedAllocate(inst *Instance, opts CentralizedOptions) (FlowAllocation, error) {
+	return NewAllocatorWorkers(1).Centralized(inst, opts)
+}
+
+// Centralized is CentralizedAllocate on this Allocator's reusable
+// solver state. Group LPs seen before (identical clique rows and basic
+// floors) warm-start from their previous optimal basis.
+func (a *Allocator) Centralized(inst *Instance, opts CentralizedOptions) (FlowAllocation, error) {
 	out := make(FlowAllocation, inst.Flows.Len())
+	s := a.sessions[0]
 	for _, g := range inst.groups() {
-		alloc, err := solveGroup(g, opts.Refine)
+		alloc, err := s.solveGroup(g, opts.Refine)
 		if err != nil {
 			return nil, err
 		}
@@ -43,7 +55,7 @@ func CentralizedAllocate(inst *Instance, opts CentralizedOptions) (FlowAllocatio
 
 // solveGroup solves one contending flow group's LP with B normalized
 // to 1.
-func solveGroup(g *group, refine bool) (FlowAllocation, error) {
+func (s *session) solveGroup(g *group, refine bool) (FlowAllocation, error) {
 	ids := g.flowIDs()
 	n := len(ids)
 	idx := make(map[flow.ID]int, n)
@@ -58,12 +70,12 @@ func solveGroup(g *group, refine bool) (FlowAllocation, error) {
 		weights[i] = g.weights[id]
 	}
 
-	x, obj, err := maximizeTotal(rows, basic)
+	x, obj, err := s.maximizeTotalCached(rows, basic)
 	if err != nil {
 		return nil, fmt.Errorf("core: centralized allocation: %w", err)
 	}
 	if refine {
-		x, err = refineMaxMin(rows, basic, weights, obj)
+		x, err = s.refineMaxMin(rows, basic, weights, obj)
 		if err != nil {
 			return nil, fmt.Errorf("core: max-min refinement: %w", err)
 		}
@@ -104,34 +116,6 @@ func rowKey(row []float64) string {
 	return string(key)
 }
 
-// maximizeTotal solves max Σ x_i subject to rows·x ≤ 1 and x ≥ basic.
-func maximizeTotal(rows [][]float64, basic []float64) ([]float64, float64, error) {
-	n := len(basic)
-	p := lp.NewProblem(n)
-	obj := make([]float64, n)
-	for i := range obj {
-		obj[i] = 1
-	}
-	if err := p.SetObjective(obj); err != nil {
-		return nil, 0, err
-	}
-	for _, row := range rows {
-		if err := p.AddLE(row, 1); err != nil {
-			return nil, 0, err
-		}
-	}
-	for i, b := range basic {
-		if err := p.LowerBound(i, b); err != nil {
-			return nil, 0, err
-		}
-	}
-	sol, err := lp.Solve(p)
-	if err != nil {
-		return nil, 0, err
-	}
-	return sol.X, sol.Objective, nil
-}
-
 // refinement tolerances: optTol is the slack allowed on the optimal
 // total, freezeTol decides whether a flow can still grow.
 const (
@@ -144,42 +128,87 @@ const (
 // x ≥ basic. It repeatedly maximizes the smallest normalized share
 // x_i/w_i among unfrozen flows, then freezes the flows that cannot
 // exceed that level, in the style of progressive filling.
-func refineMaxMin(rows [][]float64, basic, weights []float64, opt float64) ([]float64, error) {
+func (s *session) refineMaxMin(rows [][]float64, basic, weights []float64, opt float64) ([]float64, error) {
 	n := len(basic)
 	frozen := make([]bool, n)
 	value := make([]float64, n)
+	first := true
 	for remaining := n; remaining > 0; {
 		// Re-derive the optimal total against the current frozen set:
 		// freezing at w·t* carries rounding error that would otherwise
-		// accumulate into infeasibility of the Σx ≥ opt constraint.
-		optCur, err := maximizeTotalFrozen(rows, basic, frozen, value)
+		// accumulate into infeasibility of the Σx ≥ opt constraint. In
+		// the first round nothing is frozen and the caller's opt is
+		// exactly this program's optimum, so the solve is skipped.
+		if !first {
+			optCur, err := s.maximizeTotalFrozen(rows, basic, frozen, value)
+			if err != nil {
+				return nil, err
+			}
+			opt = optCur
+		}
+		first = false
+		t, err := s.maximizeFloor(rows, basic, weights, opt, frozen, value)
 		if err != nil {
 			return nil, err
 		}
-		opt = optCur
-		t, point, err := maximizeFloor(rows, basic, weights, opt, frozen, value)
-		if err != nil {
-			return nil, err
-		}
+		// The floor LP's own solution is the freeze target: freezing
+		// several variables in one round at individually-maximized
+		// values can be jointly infeasible, while s.point is one
+		// consistent optimal vertex.
+		point := s.point
+		// Consecutive per-variable probes share one program — only the
+		// objective changes between targets — so each probe after the
+		// first warm-starts from the previous probe's optimal basis.
+		// A mid-round freeze turns that variable's floor into an
+		// equality for the probes that follow, so the shared program is
+		// rebuilt (and the warm chain restarted) whenever one happens.
+		var vp *probeProgram
+		prev := -1
 		anyFrozen := false
-		// Flows that cannot exceed w_i·t* at any optimum freeze at
-		// their value in the floor LP's own solution: freezing several
-		// variables in one round at individually-maximized values can
-		// be jointly infeasible, while `point` is one consistent
-		// optimal vertex.
 		for i := 0; i < n; i++ {
 			if frozen[i] {
 				continue
 			}
-			maxi, err := maximizeVar(rows, basic, weights, opt, frozen, value, t, i)
-			if err != nil {
+			// point satisfies every probe constraint, so the probe's
+			// maximum is at least point[i]: a variable strictly above
+			// the freeze threshold at point cannot freeze, and its
+			// probe LP is skipped outright.
+			if point[i] > weights[i]*t+freezeTol {
+				continue
+			}
+			if vp == nil {
+				vp, err = buildProbeProgram(rows, basic, weights, opt, frozen, value, t)
+				if err != nil {
+					return nil, err
+				}
+				prev = -1
+			}
+			if prev >= 0 {
+				if err := vp.prob.SetObjectiveCoeff(vp.col[prev], 0); err != nil {
+					return nil, err
+				}
+			}
+			if err := vp.prob.SetObjectiveCoeff(vp.col[i], 1); err != nil {
 				return nil, err
 			}
-			if maxi <= weights[i]*t+freezeTol {
+			var solveErr error
+			if prev >= 0 {
+				solveErr = s.solver.SolveFromInto(vp.prob, s.basis, &s.sol)
+			} else {
+				solveErr = s.solver.SolveInto(vp.prob, &s.sol)
+			}
+			if solveErr != nil {
+				return nil, solveErr
+			}
+			s.basis = s.solver.AppendBasis(s.basis[:0])
+			prev = i
+			// Flows that cannot exceed w_i·t* at any optimum freeze.
+			if s.sol.X[vp.col[i]]+vp.shift[i] <= weights[i]*t+freezeTol {
 				frozen[i] = true
 				value[i] = point[i]
 				remaining--
 				anyFrozen = true
+				vp = nil
 			}
 		}
 		if !anyFrozen {
@@ -197,119 +226,193 @@ func refineMaxMin(rows [][]float64, basic, weights []float64, opt float64) ([]fl
 	return value, nil
 }
 
+// The refinement LPs below are built in reduced form: frozen variables
+// are substituted out as constants and each unfrozen x_i is shifted by
+// its active floor (z_i = x_i − shift_i), turning the floors into the
+// implicit z ≥ 0 bounds. Clique rows keep nonnegative right-hand sides
+// at every reachable state, so their slacks form a feasible basis and
+// phase 1 has at most one artificial — the total-optimality row — to
+// drive out, instead of one per floor and frozen equality.
+
+// reduceColumns assigns a reduced column to every unfrozen variable.
+// col[i] is −1 for frozen variables; k is the reduced column count.
+func reduceColumns(frozen []bool) (col []int, k int) {
+	col = make([]int, len(frozen))
+	for i, f := range frozen {
+		if f {
+			col[i] = -1
+			continue
+		}
+		col[i] = k
+		k++
+	}
+	return col, k
+}
+
+// reducedRow rewrites one clique row over the reduced columns into
+// buf (which must have width ≥ k entries, zeroed by this call) and
+// returns the shifted right-hand side 1 − Σ a_i·shift_i.
+func reducedRow(r []float64, col []int, shift []float64, buf []float64) float64 {
+	for j := range buf {
+		buf[j] = 0
+	}
+	rhs := 1.0
+	for i, a := range r {
+		if col[i] >= 0 {
+			buf[col[i]] = a
+		}
+		rhs -= a * shift[i]
+	}
+	return rhs
+}
+
 // maximizeTotalFrozen solves max Σx with frozen variables pinned,
-// yielding the optimality target for the current refinement round.
-func maximizeTotalFrozen(rows [][]float64, basic []float64, frozen []bool, value []float64) (float64, error) {
+// yielding the optimality target for the current refinement round. In
+// reduced form the program is pure-LE over the clique rows: no
+// artificials at all.
+func (s *session) maximizeTotalFrozen(rows [][]float64, basic []float64, frozen []bool, value []float64) (float64, error) {
 	n := len(basic)
-	p := lp.NewProblem(n + 1) // +1 spare column to reuse addCommon
-	obj := make([]float64, n+1)
+	col, k := reduceColumns(frozen)
+	shift := make([]float64, n)
+	var off float64
 	for i := 0; i < n; i++ {
-		obj[i] = 1
+		if frozen[i] {
+			shift[i] = value[i]
+		} else {
+			shift[i] = basic[i]
+		}
+		off += shift[i]
+	}
+	p := lp.NewProblem(k)
+	obj := make([]float64, k)
+	for j := range obj {
+		obj[j] = 1
 	}
 	if err := p.SetObjective(obj); err != nil {
 		return 0, err
 	}
-	if err := addCommon(p, rows, basic, 0, frozen, value); err != nil {
+	buf := make([]float64, k)
+	for _, r := range rows {
+		if err := p.AddLE(buf, reducedRow(r, col, shift, buf)); err != nil {
+			return 0, err
+		}
+	}
+	if err := s.solver.SolveInto(p, &s.sol); err != nil {
 		return 0, err
 	}
-	sol, err := lp.Solve(p)
-	if err != nil {
-		return 0, err
-	}
-	return sol.Objective, nil
+	return s.sol.Objective + off, nil
 }
 
 // maximizeFloor solves: max t subject to rows·x ≤ 1, x ≥ basic,
 // Σ x ≥ opt − ε, x_i = value_i for frozen i, x_i ≥ w_i·t otherwise.
-// It returns both t and the solution's x vector (a consistent optimal
-// point used as the freeze target).
-func maximizeFloor(rows [][]float64, basic, weights []float64, opt float64, frozen []bool, value []float64) (float64, []float64, error) {
+// It returns t and leaves the solution's x vector — a consistent
+// optimal point used as the freeze target — in s.point. Reduced, the
+// floor rows flip to −z_i + w_i·t ≤ basic_i (nonnegative RHS), leaving
+// the total row as the only artificial.
+func (s *session) maximizeFloor(rows [][]float64, basic, weights []float64, opt float64, frozen []bool, value []float64) (float64, error) {
 	n := len(basic)
-	p := lp.NewProblem(n + 1) // variables: x_0..x_{n-1}, t
-	obj := make([]float64, n+1)
-	obj[n] = 1
-	if err := p.SetObjective(obj); err != nil {
-		return 0, nil, err
-	}
-	if err := addCommon(p, rows, basic, opt, frozen, value); err != nil {
-		return 0, nil, err
-	}
+	col, k := reduceColumns(frozen)
+	shift := make([]float64, n)
+	var off float64
 	for i := 0; i < n; i++ {
 		if frozen[i] {
-			continue
+			shift[i] = value[i]
+		} else {
+			shift[i] = basic[i]
 		}
-		row := make([]float64, n+1)
-		row[i] = 1
-		row[n] = -weights[i]
-		if err := p.AddGE(row, 0); err != nil {
-			return 0, nil, err
-		}
+		off += shift[i]
 	}
-	sol, err := lp.Solve(p)
-	if err != nil {
-		return 0, nil, err
-	}
-	return sol.X[n], sol.X[:n], nil
-}
-
-// maximizeVar solves: max x_target subject to the same constraint set
-// with unfrozen floors fixed at w_i·t.
-func maximizeVar(rows [][]float64, basic, weights []float64, opt float64, frozen []bool, value []float64, t float64, target int) (float64, error) {
-	n := len(basic)
-	p := lp.NewProblem(n + 1)
-	obj := make([]float64, n+1)
-	obj[target] = 1
+	p := lp.NewProblem(k + 1) // reduced columns, then t
+	obj := make([]float64, k+1)
+	obj[k] = 1
 	if err := p.SetObjective(obj); err != nil {
 		return 0, err
 	}
-	if err := addCommon(p, rows, basic, opt, frozen, value); err != nil {
-		return 0, err
-	}
-	for i := 0; i < n; i++ {
-		if frozen[i] {
-			continue
-		}
-		row := make([]float64, n+1)
-		row[i] = 1
-		if err := p.AddGE(row, weights[i]*t-optTol); err != nil {
+	buf := make([]float64, k+1)
+	for _, r := range rows {
+		rhs := reducedRow(r, col, shift, buf[:k])
+		buf[k] = 0
+		if err := p.AddLE(buf, rhs); err != nil {
 			return 0, err
 		}
 	}
-	sol, err := lp.Solve(p)
-	if err != nil {
-		return 0, err
-	}
-	return sol.X[target], nil
-}
-
-// addCommon installs the clique capacity rows, basic-share floors,
-// frozen equalities and the total-optimality constraint. Problems have
-// n+1 columns; column n (the t variable) is unused by these rows.
-func addCommon(p *lp.Problem, rows [][]float64, basic []float64, opt float64, frozen []bool, value []float64) error {
-	n := len(basic)
-	for _, r := range rows {
-		row := make([]float64, n+1)
-		copy(row, r)
-		if err := p.AddLE(row, 1); err != nil {
-			return err
-		}
-	}
 	for i := 0; i < n; i++ {
-		row := make([]float64, n+1)
-		row[i] = 1
-		if frozen[i] {
-			if err := p.AddEQ(row, value[i]); err != nil {
-				return err
-			}
+		if col[i] < 0 {
 			continue
 		}
-		if err := p.AddGE(row, basic[i]); err != nil {
-			return err
+		for j := range buf {
+			buf[j] = 0
+		}
+		buf[col[i]] = -1
+		buf[k] = weights[i]
+		if err := p.AddLE(buf, basic[i]); err != nil {
+			return 0, err
 		}
 	}
-	total := make([]float64, n+1)
-	for i := 0; i < n; i++ {
-		total[i] = 1
+	for j := 0; j < k; j++ {
+		buf[j] = 1
 	}
-	return p.AddGE(total, opt-optTol)
+	buf[k] = 0
+	if err := p.AddGE(buf, opt-optTol-off); err != nil {
+		return 0, err
+	}
+	if err := s.solver.SolveInto(p, &s.sol); err != nil {
+		return 0, err
+	}
+	// Copy the x-space point out of the solver's scratch: the probe
+	// solves that follow reuse s.sol.X.
+	s.point = s.point[:0]
+	for i := 0; i < n; i++ {
+		if col[i] >= 0 {
+			s.point = append(s.point, s.sol.X[col[i]]+basic[i])
+		} else {
+			s.point = append(s.point, value[i])
+		}
+	}
+	return s.sol.X[k], nil
+}
+
+// probeProgram is one refinement round's shared per-variable probe LP
+// in reduced form. The probe floors max(basic_i, w_i·t − ε) are folded
+// into the shifts, so the program is the clique rows plus the single
+// total-optimality row; only the objective changes between targets.
+type probeProgram struct {
+	prob  *lp.Problem
+	col   []int
+	shift []float64
+}
+
+func buildProbeProgram(rows [][]float64, basic, weights []float64, opt float64, frozen []bool, value []float64, t float64) (*probeProgram, error) {
+	n := len(basic)
+	col, k := reduceColumns(frozen)
+	shift := make([]float64, n)
+	var off float64
+	for i := 0; i < n; i++ {
+		switch {
+		case frozen[i]:
+			shift[i] = value[i]
+		case weights[i]*t-optTol > basic[i]:
+			shift[i] = weights[i]*t - optTol
+		default:
+			shift[i] = basic[i]
+		}
+		off += shift[i]
+	}
+	p := lp.NewProblem(k)
+	if err := p.SetObjective(make([]float64, k)); err != nil {
+		return nil, err
+	}
+	buf := make([]float64, k)
+	for _, r := range rows {
+		if err := p.AddLE(buf, reducedRow(r, col, shift, buf)); err != nil {
+			return nil, err
+		}
+	}
+	for j := range buf {
+		buf[j] = 1
+	}
+	if err := p.AddGE(buf, opt-optTol-off); err != nil {
+		return nil, err
+	}
+	return &probeProgram{prob: p, col: col, shift: shift}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"e2efair/internal/flow"
 	"e2efair/internal/lp"
@@ -58,7 +59,20 @@ type DistributedResult struct {
 // Σ w_j·v_j over the flows the node itself overhears — a subset of the
 // group, hence a (possibly) higher floor than the centralized form.
 // Flow i adopts the share computed at its source node.
+//
+// The per-node LPs are independent and solved on a worker pool sized
+// to the machine; the result is bit-identical to a single-worker run.
 func DistributedAllocate(inst *Instance) (*DistributedResult, error) {
+	return NewAllocator().Distributed(inst)
+}
+
+// Distributed is DistributedAllocate on this Allocator's worker pool.
+// Source nodes are assigned to workers round-robin in first-flow
+// order; each worker solves its nodes on its own session, results are
+// index-addressed, and on error the lowest-indexed failing node wins —
+// so the outcome (shares, locals, and error) does not depend on the
+// worker count or on scheduling.
+func (a *Allocator) Distributed(inst *Instance) (*DistributedResult, error) {
 	// cliquesOf[v] = indices into inst.Cliques containing vertex v.
 	cliquesOf := make([][]int, inst.Graph.NumVertices())
 	for ci, c := range inst.Cliques {
@@ -100,23 +114,56 @@ func DistributedAllocate(inst *Instance) (*DistributedResult, error) {
 		flowCliques[f.ID()] = set
 	}
 
-	res := &DistributedResult{Shares: make(FlowAllocation, inst.Flows.Len())}
-	solvedAt := make(map[topology.NodeID]*LocalProblem)
+	// Distinct source nodes in first-flow order: a deterministic work
+	// list whatever the worker count.
+	var nodes []topology.NodeID
+	nodeIdx := make(map[topology.NodeID]int)
 	for _, f := range inst.Flows.Flows() {
 		src := f.Source()
-		lp, ok := solvedAt[src]
-		if !ok {
-			var err error
-			lp, err = solveLocal(inst, src, constructed[src], flowCliques)
-			if err != nil {
-				return nil, fmt.Errorf("core: distributed allocation at node %s: %w", inst.nodeName(src), err)
-			}
-			solvedAt[src] = lp
-			res.Locals = append(res.Locals, lp)
+		if _, ok := nodeIdx[src]; !ok {
+			nodeIdx[src] = len(nodes)
+			nodes = append(nodes, src)
 		}
-		for i, id := range lp.FlowIDs {
+	}
+	locals := make([]*LocalProblem, len(nodes))
+	errs := make([]error, len(nodes))
+	workers := a.workers
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers <= 1 {
+		sess := a.sessions[0]
+		for i, node := range nodes {
+			locals[i], errs[i] = solveLocal(inst, node, constructed[node], flowCliques, sess)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sess := a.sessions[w]
+				for i := w; i < len(nodes); i += workers {
+					node := nodes[i]
+					locals[i], errs[i] = solveLocal(inst, node, constructed[node], flowCliques, sess)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: distributed allocation at node %s: %w", inst.nodeName(nodes[i]), err)
+		}
+	}
+
+	res := &DistributedResult{Shares: make(FlowAllocation, inst.Flows.Len())}
+	res.Locals = append(res.Locals, locals...)
+	for _, f := range inst.Flows.Flows() {
+		local := locals[nodeIdx[f.Source()]]
+		for i, id := range local.FlowIDs {
 			if id == f.ID() {
-				res.Shares[f.ID()] = lp.Solution[i]
+				res.Shares[f.ID()] = local.Solution[i]
 			}
 		}
 	}
@@ -140,21 +187,23 @@ func cliqueMentions(inst *Instance, ci int, id flow.ID) bool {
 	return false
 }
 
-// solveLocal builds and solves the local LP at one node. The
-// constraint set is the union, over flows the node transmits, of the
-// flows' propagated clique sets; the denominator of the local basic
-// share covers exactly the flows appearing in the node's own
-// locally-constructed cliques.
-func solveLocal(inst *Instance, node topology.NodeID, own map[int]bool, flowCliques map[flow.ID]map[int]bool) (*LocalProblem, error) {
+// solveLocal builds and solves the local LP at one node on the given
+// session. The constraint set is the union, over flows the node
+// transmits, of the flows' propagated clique sets; the denominator of
+// the local basic share covers exactly the flows appearing in the
+// node's own locally-constructed cliques. The result is a pure
+// function of the node's LP — solveLocal never consults the session's
+// warm-start cache — so any session computes bit-identical output.
+func solveLocal(inst *Instance, node topology.NodeID, own map[int]bool, flowCliques map[flow.ID]map[int]bool, s *session) (*LocalProblem, error) {
 	// Constraint set: cliques propagated for each flow this node
 	// transmits.
 	cliqueSet := make(map[int]bool)
 	for v := 0; v < inst.Graph.NumVertices(); v++ {
-		s := inst.Graph.Subflow(v)
-		if s.Src != node {
+		sf := inst.Graph.Subflow(v)
+		if sf.Src != node {
 			continue
 		}
-		for ci := range flowCliques[s.ID.Flow] {
+		for ci := range flowCliques[sf.ID.Flow] {
 			cliqueSet[ci] = true
 		}
 	}
@@ -233,7 +282,7 @@ func solveLocal(inst *Instance, node topology.NodeID, own map[int]bool, flowCliq
 		local.Cliques = append(local.Cliques, row)
 	}
 
-	x, obj, err := maximizeTotal(local.Cliques, local.Basic)
+	_, obj, err := s.maximizeTotal(local.Cliques, local.Basic)
 	if errors.Is(err, lp.ErrInfeasible) && denomAll > 0 {
 		// The optimistic local floor (denominator restricted to the
 		// flows this node overhears) can clash with a propagated
@@ -242,12 +291,12 @@ func solveLocal(inst *Instance, node topology.NodeID, own map[int]bool, flowCliq
 		for i, id := range ids {
 			local.Basic[i] = weightsByID[id] / denomAll
 		}
-		x, obj, err = maximizeTotal(local.Cliques, local.Basic)
+		_, obj, err = s.maximizeTotal(local.Cliques, local.Basic)
 	}
 	if err != nil {
 		return nil, err
 	}
-	x, err = refineMaxMin(local.Cliques, local.Basic, local.Weights, obj)
+	x, err := s.refineMaxMin(local.Cliques, local.Basic, local.Weights, obj)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,98 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"e2efair/internal/core"
+	"e2efair/internal/scenario"
+)
+
+// TestDistributedParallelBitIdentical demands that the worker-pool
+// distributed allocation produce byte-for-byte the same result as a
+// single-worker run — every share, every local problem, every float —
+// across the paper topology and a batch of random ones. Run under
+// -race this also proves the pool race-clean.
+func TestDistributedParallelBitIdentical(t *testing.T) {
+	var scs []*scenario.Scenario
+	fig6, err := scenario.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs = append(scs, fig6)
+	rng := rand.New(rand.NewSource(11))
+	for len(scs) < 7 {
+		sc, err := scenario.Random(scenario.RandomConfig{
+			Nodes: 24, Width: 1000, Height: 1000, Flows: 6, MaxHops: 6,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scs = append(scs, sc)
+	}
+	for si, sc := range scs {
+		seq, err := core.NewAllocatorWorkers(1).Distributed(sc.Inst)
+		if err != nil {
+			t.Fatalf("scenario %d: sequential: %v", si, err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := core.NewAllocatorWorkers(workers).Distributed(sc.Inst)
+			if err != nil {
+				t.Fatalf("scenario %d: %d workers: %v", si, workers, err)
+			}
+			if !reflect.DeepEqual(seq.Shares, par.Shares) {
+				t.Fatalf("scenario %d: %d workers: shares differ\nseq: %v\npar: %v",
+					si, workers, seq.Shares, par.Shares)
+			}
+			if !reflect.DeepEqual(seq.Locals, par.Locals) {
+				t.Fatalf("scenario %d: %d workers: local problems differ", si, workers)
+			}
+		}
+	}
+}
+
+// TestAllocatorReuseAcrossInstances exercises the churn pattern: one
+// Allocator solving many different instances back to back, each result
+// checked against a fresh-state computation. Warm-start caching must
+// never leak one instance's answer into another's.
+func TestAllocatorReuseAcrossInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := core.NewAllocatorWorkers(4)
+	for trial := 0; trial < 6; trial++ {
+		sc, err := scenario.Random(scenario.RandomConfig{
+			Nodes: 20, Width: 900, Height: 900, Flows: 5, MaxHops: 5,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-solving the same instance twice on the reused allocator
+		// hits the warm-start cache on the second pass.
+		for pass := 0; pass < 2; pass++ {
+			got, err := a.Centralized(sc.Inst, core.CentralizedOptions{Refine: true})
+			if err != nil {
+				t.Fatalf("trial %d pass %d: %v", trial, pass, err)
+			}
+			want, err := core.CentralizedAllocate(sc.Inst, core.CentralizedOptions{Refine: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id, w := range want {
+				if g := got[id]; g < w-1e-7 || g > w+1e-7 {
+					t.Fatalf("trial %d pass %d: flow %v: %g, want %g", trial, pass, id, g, w)
+				}
+			}
+			gotD, err := a.Distributed(sc.Inst)
+			if err != nil {
+				t.Fatalf("trial %d pass %d: distributed: %v", trial, pass, err)
+			}
+			wantD, err := core.NewAllocatorWorkers(1).Distributed(sc.Inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotD.Shares, wantD.Shares) {
+				t.Fatalf("trial %d pass %d: distributed shares diverge on reused allocator", trial, pass)
+			}
+		}
+	}
+}

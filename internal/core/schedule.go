@@ -74,7 +74,7 @@ func CheckSchedulable(g *contention.Graph, rates []float64) (*Schedulability, er
 			return nil, err
 		}
 	}
-	sol, err := lp.Solve(p)
+	sol, err := lp.NewSolver().Solve(p)
 	if err != nil {
 		if errors.Is(err, lp.ErrInfeasible) {
 			return &Schedulability{Feasible: false, Load: -1}, nil
@@ -147,7 +147,7 @@ func MaxSchedulableFairRate(g *contention.Graph) (float64, error) {
 	if err := p.AddLE(total, 1); err != nil {
 		return 0, err
 	}
-	sol, err := lp.Solve(p)
+	sol, err := lp.NewSolver().Solve(p)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"runtime"
+
+	"e2efair/internal/lp"
+)
+
+// session bundles one reusable lp.Solver with the scratch it needs to
+// run the phase-1 algorithms without per-solve allocation churn: a
+// reusable Solution, a basis buffer for warm-chained probe sequences,
+// a copy buffer for the floor LP's consistent optimal point, and a
+// warm-start cache of previously solved total-throughput LPs.
+//
+// A session is not safe for concurrent use; Allocator gives each
+// worker its own.
+type session struct {
+	solver *lp.Solver
+	sol    lp.Solution
+	basis  []int
+	point  []float64
+	cache  map[string]*cachedLP
+	key    []byte
+}
+
+// cachedLP is a previously built total-throughput LP together with its
+// last optimal basis. Re-solving the identical program warm-starts
+// from that basis, which re-prices in one pass instead of running
+// phase 1 from scratch.
+type cachedLP struct {
+	prob  *lp.Problem
+	basis []int
+}
+
+func newSession() *session {
+	return &session{solver: lp.NewSolver(), cache: make(map[string]*cachedLP)}
+}
+
+// maxCachedProblems bounds the per-session warm-start cache; dynamic
+// simulations revisit a small set of group structures, so the bound
+// exists only to keep adversarial churn from growing memory without
+// limit.
+const maxCachedProblems = 256
+
+// fingerprint serializes the exact bits of a total-throughput LP
+// (clique rows + basic floors) into the session's reused key buffer.
+// Equal fingerprints imply identical programs.
+func (s *session) fingerprint(rows [][]float64, basic []float64) string {
+	key := s.key[:0]
+	var b [8]byte
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		key = append(key, b[:]...)
+	}
+	put(float64(len(rows)))
+	for _, r := range rows {
+		for _, v := range r {
+			put(v)
+		}
+	}
+	for _, v := range basic {
+		put(v)
+	}
+	s.key = key
+	return string(key)
+}
+
+// buildTotalProblem constructs max Σ x_i subject to rows·x ≤ 1 and
+// x ≥ basic, substituted as y_i = x_i − basic_i so the floors become
+// the implicit y ≥ 0 bounds: when the floors fit every clique the
+// program is pure-LE with nonnegative right-hand sides, the slack
+// basis is feasible, and phase 1 has no artificials to drive out.
+// Floors that do not fit flip a row's normalized sense, and phase 1
+// reports ErrInfeasible exactly as the unshifted form would.
+func buildTotalProblem(rows [][]float64, basic []float64) (*lp.Problem, error) {
+	n := len(basic)
+	p := lp.NewProblem(n)
+	obj := make([]float64, n)
+	for i := range obj {
+		obj[i] = 1
+	}
+	if err := p.SetObjective(obj); err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		rhs := 1.0
+		for i, a := range row {
+			rhs -= a * basic[i]
+		}
+		if err := p.AddLE(row, rhs); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// unshiftTotal maps the solved shifted program back to x-space in
+// place: x_i = y_i + basic_i, objective offset Σ basic.
+func (s *session) unshiftTotal(basic []float64) ([]float64, float64) {
+	var off float64
+	for i, b := range basic {
+		s.sol.X[i] += b
+		off += b
+	}
+	return s.sol.X, s.sol.Objective + off
+}
+
+// maximizeTotal solves max Σ x_i subject to rows·x ≤ 1 and x ≥ basic.
+// The returned slice aliases the session's solution scratch and is
+// valid only until the next solve on this session.
+func (s *session) maximizeTotal(rows [][]float64, basic []float64) ([]float64, float64, error) {
+	p, err := buildTotalProblem(rows, basic)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := s.solver.SolveInto(p, &s.sol); err != nil {
+		return nil, 0, err
+	}
+	x, obj := s.unshiftTotal(basic)
+	return x, obj, nil
+}
+
+// maximizeTotalCached is maximizeTotal through the session's
+// warm-start cache: a program already seen (bit-identical rows and
+// floors) re-solves from its previous optimal basis. Used only on the
+// centralized path — the distributed path must stay a pure function of
+// each node's LP so that parallel and sequential runs are bit-identical
+// regardless of which worker solves which node.
+func (s *session) maximizeTotalCached(rows [][]float64, basic []float64) ([]float64, float64, error) {
+	k := s.fingerprint(rows, basic)
+	if c, ok := s.cache[k]; ok {
+		if err := s.solver.SolveFromInto(c.prob, c.basis, &s.sol); err != nil {
+			return nil, 0, err
+		}
+		c.basis = s.solver.AppendBasis(c.basis[:0])
+		x, obj := s.unshiftTotal(basic)
+		return x, obj, nil
+	}
+	p, err := buildTotalProblem(rows, basic)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := s.solver.SolveInto(p, &s.sol); err != nil {
+		return nil, 0, err
+	}
+	if len(s.cache) >= maxCachedProblems {
+		clear(s.cache)
+	}
+	s.cache[k] = &cachedLP{prob: p, basis: s.solver.AppendBasis(nil)}
+	x, obj := s.unshiftTotal(basic)
+	return x, obj, nil
+}
+
+// Allocator owns the reusable solver state behind the phase-1
+// algorithms. One Allocator held across repeated allocations (churn
+// re-solves, sweeps) reuses tableau scratch between solves and
+// warm-starts programs it has seen before; the package-level
+// CentralizedAllocate / DistributedAllocate helpers construct a fresh
+// one per call.
+//
+// Methods on one Allocator must not be called concurrently with each
+// other; internally Distributed fans out across its worker sessions.
+type Allocator struct {
+	workers  int
+	sessions []*session
+}
+
+// NewAllocator returns an Allocator sized to the machine: Distributed
+// solves per-node LPs on up to GOMAXPROCS workers.
+func NewAllocator() *Allocator {
+	return NewAllocatorWorkers(runtime.GOMAXPROCS(0))
+}
+
+// NewAllocatorWorkers returns an Allocator with a fixed worker count;
+// workers < 1 is treated as 1. Results are bit-identical for every
+// worker count.
+func NewAllocatorWorkers(workers int) *Allocator {
+	if workers < 1 {
+		workers = 1
+	}
+	a := &Allocator{workers: workers, sessions: make([]*session, workers)}
+	for i := range a.sessions {
+		a.sessions[i] = newSession()
+	}
+	return a
+}

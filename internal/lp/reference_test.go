@@ -1,0 +1,214 @@
+package lp
+
+// The seed's allocate-per-call, Bland-only Solve is retained as the
+// reference implementation; the reusable flat-tableau Solver must
+// classify every program identically (optimal / infeasible /
+// unbounded), match optimal objectives everywhere, and match the
+// optimal vertex where it is unique. The randomized cross-checks below
+// sweep LE/GE/EQ rows, negative RHS, degenerate and infeasible /
+// unbounded programs.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomProblem builds a seeded random LP. With boxed set, every
+// variable gets an upper bound so the program cannot be unbounded;
+// without it, unbounded programs are part of the draw.
+func randomProblem(rng *rand.Rand, boxed bool) *Problem {
+	n := 1 + rng.Intn(5)
+	m := 1 + rng.Intn(7)
+	p := NewProblem(n)
+	obj := make([]float64, n)
+	for i := range obj {
+		obj[i] = rng.Float64()*4 - 1
+	}
+	if err := p.SetObjective(obj); err != nil {
+		panic(err)
+	}
+	for k := 0; k < m; k++ {
+		row := make([]float64, n)
+		for i := range row {
+			row[i] = rng.Float64()*4 - 1
+		}
+		rhs := rng.Float64()*3 - 1 // negative RHS in roughly a third of rows
+		var err error
+		switch rng.Intn(4) {
+		case 0:
+			err = p.AddGE(row, rhs)
+		case 1:
+			err = p.AddEQ(row, rhs)
+		default:
+			err = p.AddLE(row, rhs)
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+	if boxed {
+		for i := 0; i < n; i++ {
+			if err := p.UpperBound(i, 1+rng.Float64()*3); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return p
+}
+
+// classify maps a solve outcome onto a comparable label.
+func classify(t *testing.T, err error) string {
+	t.Helper()
+	switch {
+	case err == nil:
+		return "optimal"
+	case errors.Is(err, ErrInfeasible):
+		return "infeasible"
+	case errors.Is(err, ErrUnbounded):
+		return "unbounded"
+	default:
+		t.Fatalf("unexpected solve error: %v", err)
+		return ""
+	}
+}
+
+func TestSolverMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s := NewSolver() // one solver across every trial: scratch reuse under test
+	var sol Solution
+	optimal := 0
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng, trial%3 != 0) // every third draw may be unbounded
+		ref, refErr := Solve(p)
+		gotErr := s.SolveInto(p, &sol)
+		refKind, gotKind := classify(t, refErr), classify(t, gotErr)
+		if refKind != gotKind {
+			t.Fatalf("trial %d: reference %s, solver %s", trial, refKind, gotKind)
+		}
+		if refKind != "optimal" {
+			continue
+		}
+		optimal++
+		if math.Abs(ref.Objective-sol.Objective) > 1e-6 {
+			t.Fatalf("trial %d: reference objective %g, solver %g", trial, ref.Objective, sol.Objective)
+		}
+		// The solver's point must satisfy every constraint of p.
+		for k := 0; k < p.NumConstraints(); k++ {
+			c := p.constraints[k]
+			var lhs float64
+			for i, a := range c.Coeffs {
+				lhs += a * sol.X[i]
+			}
+			switch c.Sense {
+			case LE:
+				if lhs > c.RHS+1e-6 {
+					t.Fatalf("trial %d: row %d: %g > %g", trial, k, lhs, c.RHS)
+				}
+			case GE:
+				if lhs < c.RHS-1e-6 {
+					t.Fatalf("trial %d: row %d: %g < %g", trial, k, lhs, c.RHS)
+				}
+			case EQ:
+				if math.Abs(lhs-c.RHS) > 1e-6 {
+					t.Fatalf("trial %d: row %d: %g != %g", trial, k, lhs, c.RHS)
+				}
+			}
+		}
+		for i, v := range sol.X {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %g < 0", trial, i, v)
+			}
+		}
+	}
+	if optimal < 50 {
+		t.Fatalf("only %d optimal trials; generator needs retuning", optimal)
+	}
+}
+
+// TestSolverMatchesReferenceUniqueVertex draws programs whose optimum
+// is unique with probability one (non-degenerate random objective over
+// LE rows with positive coefficients) and demands the exact vertex.
+func TestSolverMatchesReferenceUniqueVertex(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := NewSolver()
+	var sol Solution
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(6)
+		p := NewProblem(n)
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = 0.1 + rng.Float64()
+		}
+		if err := p.SetObjective(obj); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < m; k++ {
+			row := make([]float64, n)
+			for i := range row {
+				row[i] = 0.1 + rng.Float64()
+			}
+			if err := p.AddLE(row, 0.5+rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if err := p.UpperBound(i, 1+rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		if err := s.SolveInto(p, &sol); err != nil {
+			t.Fatalf("trial %d: solver: %v", trial, err)
+		}
+		if math.Abs(ref.Objective-sol.Objective) > 1e-7 {
+			t.Fatalf("trial %d: objective %g vs %g", trial, sol.Objective, ref.Objective)
+		}
+		for i := range sol.X {
+			if math.Abs(ref.X[i]-sol.X[i]) > 1e-6 {
+				t.Fatalf("trial %d: x[%d] = %g, reference %g (x=%v ref=%v)",
+					trial, i, sol.X[i], ref.X[i], sol.X, ref.X)
+			}
+		}
+	}
+}
+
+// TestWarmResolveMatchesReference mutates the RHS of a solved program
+// and cross-checks the warm-started re-solve against a fresh reference
+// solve of the mutated program.
+func TestWarmResolveMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	s := NewSolver()
+	var sol Solution
+	var basis []int
+	for trial := 0; trial < 100; trial++ {
+		p := randomProblem(rng, true)
+		if err := s.SolveInto(p, &sol); err != nil {
+			continue // start from feasible bounded programs only
+		}
+		basis = s.AppendBasis(basis[:0])
+		// Perturb a few right-hand sides, then warm-start.
+		for k := 0; k < p.NumConstraints(); k++ {
+			if rng.Intn(3) == 0 {
+				c := p.constraints[k]
+				if err := p.SetRHS(k, c.RHS+rng.Float64()*0.2-0.1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ref, refErr := Solve(p)
+		gotErr := s.SolveFromInto(p, basis, &sol)
+		refKind, gotKind := classify(t, refErr), classify(t, gotErr)
+		if refKind != gotKind {
+			t.Fatalf("trial %d: reference %s, warm solver %s", trial, refKind, gotKind)
+		}
+		if refKind == "optimal" && math.Abs(ref.Objective-sol.Objective) > 1e-6 {
+			t.Fatalf("trial %d: warm objective %g, reference %g", trial, sol.Objective, ref.Objective)
+		}
+	}
+}

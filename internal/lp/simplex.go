@@ -24,6 +24,10 @@ var (
 	ErrUnbounded = errors.New("lp: unbounded")
 	// ErrShape is returned for malformed problems (mismatched lengths).
 	ErrShape = errors.New("lp: malformed problem")
+	// ErrIterationLimit is returned when the simplex fails to terminate
+	// within its pivot budget; the wrapping error carries the iteration
+	// count. Match it with errors.Is.
+	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
 )
 
 // tol is the numerical tolerance for pivot and optimality tests.
@@ -103,6 +107,27 @@ func (p *Problem) AddEQ(coeffs []float64, rhs float64) error {
 	return p.AddConstraint(coeffs, EQ, rhs)
 }
 
+// SetRHS replaces constraint i's right-hand side in place, letting a
+// Problem be re-solved (typically warm-started via Solver.SolveFrom)
+// without rebuilding or reallocating anything.
+func (p *Problem) SetRHS(i int, rhs float64) error {
+	if i < 0 || i >= len(p.constraints) {
+		return fmt.Errorf("%w: constraint %d of %d", ErrShape, i, len(p.constraints))
+	}
+	p.constraints[i].RHS = rhs
+	return nil
+}
+
+// SetObjectiveCoeff sets a single objective coefficient in place; the
+// companion to SetRHS for objective-only re-solves.
+func (p *Problem) SetObjectiveCoeff(j int, v float64) error {
+	if j < 0 || j >= p.n {
+		return fmt.Errorf("%w: variable %d of %d", ErrShape, j, p.n)
+	}
+	p.objective[j] = v
+	return nil
+}
+
 // LowerBound appends x_i ≥ v.
 func (p *Problem) LowerBound(i int, v float64) error {
 	if i < 0 || i >= p.n {
@@ -131,6 +156,12 @@ type Solution struct {
 
 // Solve runs the two-phase simplex method and returns an optimal
 // solution, ErrInfeasible, or ErrUnbounded.
+//
+// This is the retained reference implementation: a fresh [][]float64
+// tableau per call and Bland's rule throughout. The production path is
+// the reusable Solver (solver.go), which is pinned against Solve by
+// the randomized cross-checks in reference_test.go; prefer Solver in
+// new code and keep this implementation boring.
 func Solve(p *Problem) (*Solution, error) {
 	m := len(p.constraints)
 	n := p.n
@@ -247,22 +278,26 @@ func Solve(p *Problem) (*Solution, error) {
 			if !isArt[basis[i]] {
 				continue
 			}
-			pivoted := false
+			basis[i] = -1 // redundant unless a structural pivot is found
 			for j := 0; j < n+numSlack; j++ {
 				if math.Abs(tab[i][j]) > tol {
 					pivot(tab, i, j)
 					basis[i] = j
-					pivoted = true
 					break
 				}
 			}
-			if !pivoted {
-				// Redundant row: remove it.
-				tab = append(tab[:i], tab[i+1:]...)
-				basis = append(basis[:i], basis[i+1:]...)
-				i--
-			}
 		}
+		// Remove the marked redundant rows in one compaction pass
+		// rather than deleting from the middle per row (O(m²)).
+		w := 0
+		for i := range tab {
+			if basis[i] < 0 {
+				continue
+			}
+			tab[w], basis[w] = tab[i], basis[i]
+			w++
+		}
+		tab, basis = tab[:w], basis[:w]
 		// Forbid artificials from re-entering by zeroing their columns.
 		for _, r := range tab {
 			for _, c := range artCols {
@@ -323,7 +358,7 @@ func runSimplex(tab [][]float64, basis []int, cost []float64) (float64, error) {
 
 	for iter := 0; ; iter++ {
 		if iter > 10000*(m+width+1) {
-			return 0, errors.New("lp: iteration limit exceeded")
+			return 0, fmt.Errorf("%w (%d iterations over %d rows × %d columns)", ErrIterationLimit, iter, m, width)
 		}
 		// Entering variable: Bland — smallest index with negative
 		// reduced cost.

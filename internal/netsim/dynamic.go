@@ -78,28 +78,43 @@ func RunDynamic(inst *core.Instance, cfg Config, events []FlowEvent) (*DynamicRe
 		}
 	}
 
+	// One allocator across every churn event: the LP solver scratch is
+	// reused and group LPs recur across events (a flow leaving and
+	// rejoining restores an earlier active set), re-solving warm from
+	// their previous optimal basis. The instance cache skips rebuilding
+	// the contention graph and re-enumerating maximal cliques when an
+	// active-flow set comes back.
+	allocator := core.NewAllocator()
+	instCache := make(map[string]*core.Instance)
 	reallocate := func() error {
 		if cfg.Protocol == Protocol80211 {
 			return nil
 		}
 		var flows []*flow.Flow
+		var key []byte
 		for _, f := range inst.Flows.Flows() {
 			if active[f.ID()] {
 				flows = append(flows, f)
+				key = append(key, f.ID()...)
+				key = append(key, 0)
 			}
 		}
 		if len(flows) == 0 {
 			return nil
 		}
-		set, err := flow.NewSet(flows...)
-		if err != nil {
-			return err
+		sub, ok := instCache[string(key)]
+		if !ok {
+			set, err := flow.NewSet(flows...)
+			if err != nil {
+				return err
+			}
+			sub, err = core.NewInstance(inst.Topo, set)
+			if err != nil {
+				return err
+			}
+			instCache[string(key)] = sub
 		}
-		sub, err := core.NewInstance(inst.Topo, set)
-		if err != nil {
-			return err
-		}
-		shares, err := sharesFor(sub, cfg.Protocol)
+		shares, err := sharesForWith(allocator, sub, cfg.Protocol)
 		if err != nil {
 			return err
 		}

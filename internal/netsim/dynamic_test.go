@@ -92,6 +92,57 @@ func TestDynamicMatchesStaticWhenNoChurn(t *testing.T) {
 	}
 }
 
+// TestDynamicChurnDeterministic oscillates F1 off and on so the same
+// active-flow sets recur: later reallocations hit the run's instance
+// cache and warm-start the group LPs solved earlier. Two identical
+// runs must agree exactly, and the post-churn shares must match a
+// fresh static computation of the same active set.
+func TestDynamicChurnDeterministic(t *testing.T) {
+	sc, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []netsim.FlowEvent{
+		{At: 0, Start: []flow.ID{"F1", "F2"}},
+		{At: 5 * sim.Second, Stop: []flow.ID{"F1"}},
+		{At: 10 * sim.Second, Start: []flow.ID{"F1"}},
+		{At: 15 * sim.Second, Stop: []flow.ID{"F1"}},
+		{At: 20 * sim.Second, Start: []flow.ID{"F1"}},
+	}
+	for _, p := range []netsim.Protocol{netsim.Protocol2PAC, netsim.Protocol2PAD} {
+		cfg := netsim.Config{Protocol: p, Duration: 25 * sim.Second, Seed: 7}
+		a, err := netsim.RunDynamic(sc.Inst, cfg, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := netsim.RunDynamic(sc.Inst, cfg, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Reallocations != 5 || b.Reallocations != 5 {
+			t.Errorf("%v: reallocations = %d, %d, want 5", p, a.Reallocations, b.Reallocations)
+		}
+		for id, share := range a.FinalShares {
+			if b.FinalShares[id] != share {
+				t.Errorf("%v: run-to-run final share mismatch for %v: %g vs %g",
+					p, id, share, b.FinalShares[id])
+			}
+		}
+		if a.Stats.TotalEndToEnd() != b.Stats.TotalEndToEnd() {
+			t.Errorf("%v: delivered totals differ: %d vs %d",
+				p, a.Stats.TotalEndToEnd(), b.Stats.TotalEndToEnd())
+		}
+		// Final active set is {F1, F2}: both flows hold their static
+		// two-flow shares (B/2 and B/4) again after the last rejoin.
+		if got := a.FinalShares[sub("F1", 0)]; got < 0.49 || got > 0.51 {
+			t.Errorf("%v: final F1 share = %g, want 0.5", p, got)
+		}
+		if got := a.FinalShares[sub("F2", 0)]; got < 0.24 || got > 0.26 {
+			t.Errorf("%v: final F2 share = %g, want 0.25", p, got)
+		}
+	}
+}
+
 func TestDynamic80211NoReallocation(t *testing.T) {
 	sc, err := scenario.Figure1()
 	if err != nil {

@@ -204,19 +204,33 @@ func Run(inst *core.Instance, cfg Config) (*Result, error) {
 // sharesFor computes the per-subflow allocation each protocol's
 // scheduler enforces.
 func sharesFor(inst *core.Instance, p Protocol) (core.SubflowAllocation, error) {
+	return sharesForWith(nil, inst, p)
+}
+
+// sharesForWith is sharesFor on a caller-held core.Allocator, so that
+// repeated reallocation — churn re-solves in RunDynamic — reuses
+// solver scratch and warm-starts group LPs it has seen before. A nil
+// allocator solves on fresh state.
+func sharesForWith(a *core.Allocator, inst *core.Instance, p Protocol) (core.SubflowAllocation, error) {
 	switch p {
 	case Protocol80211:
 		return nil, nil
 	case ProtocolTwoTier:
 		return core.TwoTierAllocate(inst), nil
 	case Protocol2PAC, ProtocolDFS:
-		alloc, err := core.CentralizedAllocate(inst, core.CentralizedOptions{Refine: true})
+		if a == nil {
+			a = core.NewAllocatorWorkers(1)
+		}
+		alloc, err := a.Centralized(inst, core.CentralizedOptions{Refine: true})
 		if err != nil {
 			return nil, err
 		}
 		return alloc.Uniform(inst.Flows), nil
 	case Protocol2PAD:
-		res, err := core.DistributedAllocate(inst)
+		if a == nil {
+			a = core.NewAllocator()
+		}
+		res, err := a.Distributed(inst)
 		if err != nil {
 			return nil, err
 		}
