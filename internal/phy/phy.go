@@ -45,9 +45,24 @@ const (
 var ErrBadRate = errors.New("phy: channel rate must be positive")
 
 // Channel captures the physical-layer parameters of the shared medium.
+// Control-frame airtimes are fixed by the bit rate, so NewChannel
+// precomputes them once; the per-packet MAC hot path then reads cached
+// values instead of repeating a 64-bit division per frame.
 type Channel struct {
 	// BitRate is the channel capacity in bits per second.
 	BitRate int64
+
+	rts       sim.Time // RTS airtime
+	cts       sim.Time // CTS airtime
+	ack       sim.Time // ACK airtime
+	ctrl      sim.Time // RTS + SIFS + CTS + SIFS + SIFS + ACK
+	collision sim.Time // RTS + DIFS
+
+	// One-entry data-frame memo: simulations send a single payload
+	// size, so the division in Airtime runs once per run, not per
+	// packet. Channels are per-engine and single-threaded.
+	memoPayload int
+	memoData    sim.Time
 }
 
 // NewChannel returns a channel at the given bit rate; rate 0 selects
@@ -59,7 +74,13 @@ func NewChannel(bitRate int64) (*Channel, error) {
 	if bitRate < 0 {
 		return nil, ErrBadRate
 	}
-	return &Channel{BitRate: bitRate}, nil
+	c := &Channel{BitRate: bitRate}
+	c.rts = c.Airtime(RTSBytes)
+	c.cts = c.Airtime(CTSBytes)
+	c.ack = c.Airtime(ACKBytes)
+	c.ctrl = c.rts + SIFS + c.cts + SIFS + SIFS + c.ack
+	c.collision = c.rts + DIFS
+	return c, nil
 }
 
 // Airtime returns the time to transmit the given number of bytes,
@@ -71,30 +92,35 @@ func (c *Channel) Airtime(bytes int) sim.Time {
 }
 
 // RTSTime returns the airtime of an RTS frame.
-func (c *Channel) RTSTime() sim.Time { return c.Airtime(RTSBytes) }
+func (c *Channel) RTSTime() sim.Time { return c.rts }
 
 // CTSTime returns the airtime of a CTS frame.
-func (c *Channel) CTSTime() sim.Time { return c.Airtime(CTSBytes) }
+func (c *Channel) CTSTime() sim.Time { return c.cts }
 
 // ACKTime returns the airtime of an ACK frame.
-func (c *Channel) ACKTime() sim.Time { return c.Airtime(ACKBytes) }
+func (c *Channel) ACKTime() sim.Time { return c.ack }
 
 // DataTime returns the airtime of a data frame carrying the given
 // payload.
 func (c *Channel) DataTime(payloadBytes int) sim.Time {
-	return c.Airtime(payloadBytes + DataOverhead)
+	if payloadBytes == c.memoPayload && c.memoData != 0 {
+		return c.memoData
+	}
+	t := c.Airtime(payloadBytes + DataOverhead)
+	c.memoPayload, c.memoData = payloadBytes, t
+	return t
 }
 
 // ExchangeTime returns the full floor-acquisition duration for one
 // data packet: RTS + SIFS + CTS + SIFS + DATA + SIFS + ACK.
 func (c *Channel) ExchangeTime(payloadBytes int) sim.Time {
-	return c.RTSTime() + SIFS + c.CTSTime() + SIFS + c.DataTime(payloadBytes) + SIFS + c.ACKTime()
+	return c.ctrl + c.DataTime(payloadBytes)
 }
 
 // CollisionTime returns the airtime wasted by a failed RTS (the RTS
 // itself plus a DIFS of recovery).
 func (c *Channel) CollisionTime() sim.Time {
-	return c.RTSTime() + DIFS
+	return c.collision
 }
 
 // PacketRate returns the maximum single-link packet throughput in

@@ -48,6 +48,43 @@ func TestExchangeTime(t *testing.T) {
 	}
 }
 
+// TestCachedFrameTimes pins the construction-time airtime cache
+// against direct computation at the rates of 802.11 DSSS (1, 2 and
+// 11 Mbps): the MAC hot path reads the cached values, so they must
+// match Airtime exactly.
+func TestCachedFrameTimes(t *testing.T) {
+	for _, rate := range []int64{1_000_000, 2_000_000, 11_000_000} {
+		ch, err := NewChannel(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := ch.RTSTime(), ch.Airtime(RTSBytes); got != want {
+			t.Errorf("rate %d: RTSTime = %d, want %d", rate, got, want)
+		}
+		if got, want := ch.CTSTime(), ch.Airtime(CTSBytes); got != want {
+			t.Errorf("rate %d: CTSTime = %d, want %d", rate, got, want)
+		}
+		if got, want := ch.ACKTime(), ch.Airtime(ACKBytes); got != want {
+			t.Errorf("rate %d: ACKTime = %d, want %d", rate, got, want)
+		}
+		if got, want := ch.CollisionTime(), ch.Airtime(RTSBytes)+DIFS; got != want {
+			t.Errorf("rate %d: CollisionTime = %d, want %d", rate, got, want)
+		}
+		// The data memo must track payload-size changes, not stick to
+		// the first size seen.
+		for _, payload := range []int{512, 512, 1000, 512} {
+			if got, want := ch.DataTime(payload), ch.Airtime(payload+DataOverhead); got != want {
+				t.Errorf("rate %d: DataTime(%d) = %d, want %d", rate, payload, got, want)
+			}
+			want := ch.Airtime(RTSBytes) + SIFS + ch.Airtime(CTSBytes) + SIFS +
+				ch.Airtime(payload+DataOverhead) + SIFS + ch.Airtime(ACKBytes)
+			if got := ch.ExchangeTime(payload); got != want {
+				t.Errorf("rate %d: ExchangeTime(%d) = %d, want %d", rate, payload, got, want)
+			}
+		}
+	}
+}
+
 func TestPacketRate(t *testing.T) {
 	ch, _ := NewChannel(0)
 	rate := ch.PacketRate(512)
