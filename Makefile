@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-lp
+.PHONY: build test race bench bench-lp bench-mac
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,9 @@ bench:
 # first phase, written to BENCH_lp.json for PR-over-PR comparison.
 bench-lp: build
 	$(GO) run ./cmd/benchtables -only lp -json BENCH_lp.json
+
+# MAC/PHY datapath perf trajectory: full-stack simulation rate
+# (simSec/s), channel accounting, and steady-state allocations per
+# delivered packet (must stay ~0), written to BENCH_mac.json.
+bench-mac: build
+	$(GO) run ./cmd/benchtables -only mac -json BENCH_mac.json

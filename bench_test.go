@@ -16,6 +16,7 @@ import (
 	"e2efair/internal/core"
 	"e2efair/internal/dsr"
 	"e2efair/internal/flow"
+	"e2efair/internal/mac"
 	"e2efair/internal/mobility"
 	"e2efair/internal/netsim"
 	"e2efair/internal/scenario"
@@ -153,6 +154,7 @@ func BenchmarkTableI(b *testing.B) {
 // the paper's metrics.
 func simBench(b *testing.B, sc *scenario.Scenario, p netsim.Protocol) {
 	b.Helper()
+	b.ReportAllocs()
 	var last *netsim.Result
 	for i := 0; i < b.N; i++ {
 		r, err := netsim.Run(sc.Inst, netsim.Config{
@@ -476,6 +478,7 @@ func BenchmarkParallelSweep(b *testing.B) {
 // simulated seconds per wall second on the Fig. 6 scenario.
 func BenchmarkSimulatorEventRate(b *testing.B) {
 	sc := mustScenario(b, scenario.Figure6)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := netsim.Run(sc.Inst, netsim.Config{
 			Protocol: netsim.Protocol2PAC, Duration: benchSimDur, Seed: 1,
@@ -484,6 +487,105 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(benchSimDur.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "simSec/s")
+}
+
+// benchMACNodes is the dense random topology size for the MAC
+// micro-benchmarks: large enough that interference rows span multiple
+// words and neighborhoods overlap heavily.
+const benchMACNodes = 30
+
+// benchMACMedium assembles a bare MAC over a dense random topology
+// (600 m × 600 m, 250 m tx / 500 m interference range) with FIFO
+// schedulers — the contention hot path with no allocator or traffic
+// machinery around it.
+func benchMACMedium(b *testing.B, hooks mac.Hooks) (*sim.Engine, *mac.Medium, *topology.Topology) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	tb := topology.NewBuilder(250, 500)
+	for i := 0; i < benchMACNodes; i++ {
+		tb.Add(fmt.Sprintf("n%d", i), rng.Float64()*600, rng.Float64()*600)
+	}
+	topo, err := tb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	medium, err := mac.NewMedium(eng, topo, rand.New(rand.NewSource(1)), mac.Config{}, hooks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchMACNodes; i++ {
+		if err := medium.Attach(topology.NodeID(i), mac.NewFIFO(64, 31, 1023)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng, medium, topo
+}
+
+// drainMAC injects the packet set and runs the engine until the burst
+// resolves (every packet delivered or retry-dropped).
+func drainMAC(b *testing.B, eng *sim.Engine, medium *mac.Medium, pkts []*mac.Packet) {
+	for _, p := range pkts {
+		if _, err := medium.Inject(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng.Run(eng.Now() + 10*sim.Second)
+}
+
+// BenchmarkMediumResolve measures the unicast contention hot path:
+// every node bursts one packet to its nearest neighbor and the medium
+// resolves the resulting collision storm. Steady state must not
+// allocate — the scratch sets, event free list and queue buffers all
+// warm up on the first drain.
+func BenchmarkMediumResolve(b *testing.B) {
+	delivered := 0
+	hooks := mac.Hooks{OnDelivered: func(_ *mac.Packet, _ sim.Time) { delivered++ }}
+	eng, medium, topo := benchMACMedium(b, hooks)
+	var pkts []*mac.Packet
+	for i := 0; i < benchMACNodes; i++ {
+		nbrs := topo.Neighbors(topology.NodeID(i))
+		if len(nbrs) == 0 {
+			continue
+		}
+		pkts = append(pkts, &mac.Packet{
+			Path:         []topology.NodeID{topology.NodeID(i), nbrs[0]},
+			PayloadBytes: 512,
+		})
+	}
+	drainMAC(b, eng, medium, pkts) // warm scratch and free lists
+	b.ReportAllocs()
+	b.ResetTimer()
+	delivered = 0
+	for i := 0; i < b.N; i++ {
+		drainMAC(b, eng, medium, pkts)
+	}
+	b.ReportMetric(float64(delivered)/float64(b.N), "delivered/op")
+}
+
+// BenchmarkBroadcastFanout measures the broadcast reception path: the
+// jam-set union and per-neighbor delivery that route discovery leans
+// on, again allocation-free in steady state.
+func BenchmarkBroadcastFanout(b *testing.B) {
+	received := 0
+	hooks := mac.Hooks{OnBroadcast: func(_ *mac.Packet, _ topology.NodeID, _ sim.Time) { received++ }}
+	eng, medium, _ := benchMACMedium(b, hooks)
+	var pkts []*mac.Packet
+	for i := 0; i < benchMACNodes; i++ {
+		pkts = append(pkts, &mac.Packet{
+			Path:         []topology.NodeID{topology.NodeID(i)},
+			PayloadBytes: 512,
+			Broadcast:    true,
+		})
+	}
+	drainMAC(b, eng, medium, pkts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	received = 0
+	for i := 0; i < b.N; i++ {
+		drainMAC(b, eng, medium, pkts)
+	}
+	b.ReportMetric(float64(received)/float64(b.N), "rx/op")
 }
 
 // BenchmarkIdealTDMA runs the Sec. III ideal estimator over the Fig. 6

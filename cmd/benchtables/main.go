@@ -72,7 +72,7 @@ func (s *Section) add(label string, values map[string]float64) {
 func main() {
 	duration := flag.Float64("duration", 200, "simulated seconds for Tables II/III (paper: 1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp")
+	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp, mac")
 	jsonPath := flag.String("json", "", "write machine-readable metrics and wall-clock timings to this file")
 	flag.Parse()
 	if err := run(*duration, *seed, *only, *jsonPath); err != nil {
@@ -89,7 +89,7 @@ func run(durationSec float64, seed int64, only, jsonPath string) error {
 		{"fig1", fig1}, {"fig2", fig2}, {"fig4", fig4}, {"fig5", fig5},
 		{"fig6", fig6}, {"tableI", tableI}, {"tableII", tableII}, {"tableIII", tableIII},
 		{"ideal", ideal}, {"transport", reliableTransport}, {"random", randomSweep},
-		{"mobility", mobilitySection}, {"lp", lpSection},
+		{"mobility", mobilitySection}, {"lp", lpSection}, {"mac", macSection},
 	}
 	report := &Report{DurationSec: durationSec, Seed: seed}
 	start := time.Now()
@@ -669,5 +669,81 @@ func lpSection(_ float64, _ int64, sec *Section) error {
 	}
 	sec.add("distributedParallel", map[string]float64{"nsPerOp": parNs})
 	fmt.Printf("DistributedAllocate parallel:    %10.0f ns/op  (%d workers)\n", parNs, runtime.GOMAXPROCS(0))
+	return nil
+}
+
+// macSection measures the MAC/PHY packet-datapath fast path: the
+// wall-clock simulation rate of full protocol stacks on the paper's
+// scenarios, channel accounting, and the steady-state heap allocations
+// per delivered packet — which the bitset/free-list datapath keeps at
+// zero. Emitted to BENCH_mac.json by `make bench-mac`.
+func macSection(_ float64, seed int64, sec *Section) error {
+	fmt.Println("== MAC/PHY datapath fast path ==")
+	timedRun := func(sc *scenario.Scenario, p netsim.Protocol, dur sim.Time) (*netsim.Result, float64, error) {
+		start := time.Now()
+		r, err := netsim.Run(sc.Inst, netsim.Config{Protocol: p, Duration: dur, Seed: seed})
+		return r, time.Since(start).Seconds(), err
+	}
+
+	const rateDur = 30 * sim.Second
+	for _, c := range []struct {
+		name  string
+		build func() (*scenario.Scenario, error)
+		p     netsim.Protocol
+	}{
+		{"fig1-802.11", scenario.Figure1, netsim.Protocol80211},
+		{"fig6-2pa-c", scenario.Figure6, netsim.Protocol2PAC},
+	} {
+		sc, err := c.build()
+		if err != nil {
+			return err
+		}
+		// Warm once so the timed run sees steady-state code paths.
+		if _, _, err := timedRun(sc, c.p, sim.Second); err != nil {
+			return err
+		}
+		r, wall, err := timedRun(sc, c.p, rateDur)
+		if err != nil {
+			return err
+		}
+		rate := rateDur.Seconds() / wall
+		fmt.Printf("%-12s %8.0f simSec/s  util=%.3f collisionOverhead=%.3f\n",
+			c.name, rate, r.Airtime.Utilization(), r.Airtime.CollisionOverhead())
+		sec.add(c.name, map[string]float64{
+			"simSecPerS":        rate,
+			"utilization":       r.Airtime.Utilization(),
+			"collisionOverhead": r.Airtime.CollisionOverhead(),
+		})
+	}
+
+	// Steady-state allocations per delivered packet: a short and a long
+	// run differ only in simulated traffic, so the identical per-run
+	// stack construction cancels out of the malloc-count difference.
+	sc, err := scenario.Figure6()
+	if err != nil {
+		return err
+	}
+	measure := func(dur sim.Time) (mallocs, delivered float64, err error) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		r, err := netsim.Run(sc.Inst, netsim.Config{Protocol: netsim.Protocol2PAC, Duration: dur, Seed: seed})
+		if err != nil {
+			return 0, 0, err
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs - before.Mallocs), float64(r.Stats.TotalEndToEnd()), nil
+	}
+	mShort, pShort, err := measure(5 * sim.Second)
+	if err != nil {
+		return err
+	}
+	mLong, pLong, err := measure(25 * sim.Second)
+	if err != nil {
+		return err
+	}
+	perPkt := (mLong - mShort) / (pLong - pShort)
+	fmt.Printf("steady-state allocations:        %10.3f allocs/delivered pkt (fig6 2PA-C)\n", perPkt)
+	sec.add("allocs", map[string]float64{"perDeliveredPkt": perPkt})
 	return nil
 }

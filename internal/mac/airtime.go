@@ -46,17 +46,20 @@ func (r *AirtimeReport) CollisionOverhead() float64 {
 	return float64(r.CollisionTime) / float64(r.Duration)
 }
 
-// airtime is the medium's internal accumulator.
+// airtime is the medium's internal accumulator. Per-node totals live
+// in a node-indexed slice — the hot path increments a word instead of
+// hashing a map key — and are folded into a map only when a report is
+// requested.
 type airtime struct {
 	txTime        sim.Time
 	collisionTime sim.Time
 	exchanges     int64
 	collisions    int64
-	perNodeTx     map[topology.NodeID]sim.Time
+	perNodeTx     []sim.Time
 }
 
-func newAirtime() *airtime {
-	return &airtime{perNodeTx: make(map[topology.NodeID]sim.Time)}
+func newAirtime(nodes int) *airtime {
+	return &airtime{perNodeTx: make([]sim.Time, nodes)}
 }
 
 func (a *airtime) addExchange(sender topology.NodeID, dur sim.Time) {
@@ -71,7 +74,9 @@ func (a *airtime) addCollision(dur sim.Time) {
 }
 
 // Airtime snapshots the medium's airtime accounting since its
-// creation, evaluated at the engine's current time.
+// creation, evaluated at the engine's current time. Nodes that never
+// transmitted carry no map entry, matching the map-based accumulator
+// this report was originally filled from.
 func (m *Medium) Airtime() *AirtimeReport {
 	rep := &AirtimeReport{
 		Duration:      m.eng.Now(),
@@ -79,10 +84,12 @@ func (m *Medium) Airtime() *AirtimeReport {
 		CollisionTime: m.air.collisionTime,
 		Exchanges:     m.air.exchanges,
 		Collisions:    m.air.collisions,
-		PerNodeTx:     make(map[topology.NodeID]sim.Time, len(m.air.perNodeTx)),
+		PerNodeTx:     make(map[topology.NodeID]sim.Time),
 	}
 	for id, t := range m.air.perNodeTx {
-		rep.PerNodeTx[id] = t
+		if t != 0 {
+			rep.PerNodeTx[topology.NodeID(id)] = t
+		}
 	}
 	return rep
 }

@@ -23,7 +23,7 @@ const DefaultDFSScaling = 0.07
 // (virtual clocks, neighbor tables, receiver advice), making it the
 // natural ablation of phase 2.
 type DFS struct {
-	queue    []*Packet
+	queue    pktQueue
 	capacity int
 	shares   map[flow.SubflowID]float64
 	bitsUS   float64
@@ -82,33 +82,26 @@ func (d *DFS) Enqueue(p *Packet, _ sim.Time) bool {
 	if _, ok := d.shares[p.SubflowID()]; !ok {
 		return false
 	}
-	if len(d.queue) >= d.capacity {
+	if d.queue.len() >= d.capacity {
 		return false
 	}
-	d.queue = append(d.queue, p)
+	d.queue.push(p)
 	return true
 }
 
 // Head implements Scheduler.
 func (d *DFS) Head(_ sim.Time) *Packet {
-	if len(d.queue) == 0 {
+	if d.queue.len() == 0 {
 		return nil
 	}
-	return d.queue[0]
+	return d.queue.front()
 }
 
 // OnSuccess implements Scheduler.
-func (d *DFS) OnSuccess(_ *Packet, _ float64, _ sim.Time) { d.pop() }
+func (d *DFS) OnSuccess(_ *Packet, _ float64, _ sim.Time) { d.queue.pop() }
 
 // OnDrop implements Scheduler.
-func (d *DFS) OnDrop(_ *Packet, _ sim.Time) { d.pop() }
-
-func (d *DFS) pop() {
-	if len(d.queue) > 0 {
-		d.queue[0] = nil
-		d.queue = d.queue[1:]
-	}
-}
+func (d *DFS) OnDrop(_ *Packet, _ sim.Time) { d.queue.pop() }
 
 // DrawBackoff implements Scheduler: first attempt in
 // [0.9, 1.1]·scaling·L/(w·B) slots; retries use exponential recovery.
@@ -123,10 +116,10 @@ func (d *DFS) DrawBackoff(rng *rand.Rand, retries int, _ sim.Time) int {
 		}
 		return rng.Intn(cw + 1)
 	}
-	if len(d.queue) == 0 {
+	if d.queue.len() == 0 {
 		return rng.Intn(d.cwMin + 1)
 	}
-	p := d.queue[0]
+	p := d.queue.front()
 	w := d.shares[p.SubflowID()]
 	bits := float64(p.PayloadBytes+dataOverheadBytes) * 8
 	serviceUS := bits / (w * d.bitsUS)
@@ -156,4 +149,4 @@ func (d *DFS) Advise(topology.NodeID, sim.Time) float64 { return 0 }
 func (d *DFS) CurrentTag() (float64, bool) { return 0, false }
 
 // Backlog implements Scheduler.
-func (d *DFS) Backlog() int { return len(d.queue) }
+func (d *DFS) Backlog() int { return d.queue.len() }

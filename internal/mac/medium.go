@@ -3,6 +3,7 @@ package mac
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"e2efair/internal/phy"
@@ -86,14 +87,47 @@ type Medium struct {
 	hooks      Hooks
 	retryLimit int
 
-	nodes      []*nodeMAC
-	interferes [][]bool
-	inRange    [][]bool
-	tracer     Tracer
+	nodes  []*nodeMAC
+	tracer Tracer
+
+	// Interference and reception geometry, precomputed as word-packed
+	// membership rows plus sorted neighbor index lists: the hot loops
+	// test membership in O(1) words and walk neighbors instead of
+	// scanning every node in the network.
+	infBits []nodeset // infBits[i].has(j) ⇔ i and j interfere
+	rxBits  []nodeset // rxBits[i].has(j) ⇔ j is in i's transmission range
+	infNbrs [][]int32 // ascending interference neighbors of i
+	rxNbrs  [][]int32 // ascending transmission-range neighbors of i
 
 	attempts         []*nodeMAC
 	resolveScheduled bool
 	air              *airtime
+
+	// Resolve-local scratch, reused so the steady-state event path
+	// does not allocate.
+	live []*nodeMAC
+	outs []outcome
+	jam  nodeset
+
+	// parked tracks nodes whose contention was frozen or whose queue
+	// may have refilled behind an exchange; processParked revisits
+	// exactly these instead of rescanning the whole network after
+	// every transmission.
+	parked nodeset
+
+	// Pre-bound handlers, so hot-path scheduling reuses long-lived
+	// function values instead of allocating a closure per event.
+	resolveFn func()
+	rescanFn  func()
+
+	freePkts []*Packet
+}
+
+// outcome is one floor-acquisition verdict within a resolve instant.
+type outcome struct {
+	n  *nodeMAC
+	rx *nodeMAC // nil for broadcast
+	ok bool
 }
 
 // nodeMAC is the per-node MAC state machine.
@@ -109,6 +143,15 @@ type nodeMAC struct {
 	attemptSeq uint64
 	busyUntil  sim.Time
 	inExchange bool
+
+	// attemptFn and finishFn are bound once at construction; the
+	// attempt sequence travels as the event argument, keeping backoff
+	// expiry and transmission-end scheduling allocation-free.
+	attemptFn func(seq uint64)
+	finishFn  func()
+	// bcastRx is the receiver scratch of the node's in-flight
+	// broadcast frame (at most one per node).
+	bcastRx []*nodeMAC
 }
 
 // NewMedium builds the medium over a topology.
@@ -133,20 +176,35 @@ func NewMedium(eng *sim.Engine, topo *topology.Topology, rng *rand.Rand, cfg Con
 		retryLimit: cfg.RetryLimit,
 		tracer:     cfg.Tracer,
 		nodes:      make([]*nodeMAC, n),
-		interferes: make([][]bool, n),
-		inRange:    make([][]bool, n),
-		air:        newAirtime(),
+		infBits:    make([]nodeset, n),
+		rxBits:     make([]nodeset, n),
+		infNbrs:    make([][]int32, n),
+		rxNbrs:     make([][]int32, n),
+		jam:        newNodeset(n),
+		parked:     newNodeset(n),
+		air:        newAirtime(n),
 	}
+	m.resolveFn = m.resolve
+	m.rescanFn = m.processParked
 	for i := 0; i < n; i++ {
-		m.nodes[i] = &nodeMAC{id: topology.NodeID(i)}
-		m.interferes[i] = make([]bool, n)
-		m.inRange[i] = make([]bool, n)
+		nd := &nodeMAC{id: topology.NodeID(i)}
+		nd.attemptFn = func(seq uint64) { m.attempt(nd, seq) }
+		nd.finishFn = func() { m.finishTx(nd) }
+		m.nodes[i] = nd
+		m.infBits[i] = newNodeset(n)
+		m.rxBits[i] = newNodeset(n)
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			m.interferes[i][j] = topo.InInterferenceRange(topology.NodeID(i), topology.NodeID(j))
-			m.inRange[i][j] = topo.InTxRange(topology.NodeID(i), topology.NodeID(j))
+			if topo.InInterferenceRange(topology.NodeID(i), topology.NodeID(j)) {
+				m.infBits[i].set(j)
+				m.infNbrs[i] = append(m.infNbrs[i], int32(j))
+			}
+			if topo.InTxRange(topology.NodeID(i), topology.NodeID(j)) {
+				m.rxBits[i].set(j)
+				m.rxNbrs[i] = append(m.rxNbrs[i], int32(j))
+			}
 		}
 	}
 	return m, nil
@@ -170,6 +228,31 @@ func (m *Medium) SchedulerAt(node topology.NodeID) Scheduler {
 		return nil
 	}
 	return m.nodes[node].sched
+}
+
+// AllocPacket returns a zeroed packet, recycled from the medium's free
+// list when one is available. Harnesses that pair it with FreePacket
+// run the steady-state datapath without per-packet allocation.
+func (m *Medium) AllocPacket() *Packet {
+	if n := len(m.freePkts); n > 0 {
+		p := m.freePkts[n-1]
+		m.freePkts[n-1] = nil
+		m.freePkts = m.freePkts[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// FreePacket recycles a packet whose lifecycle has ended (delivered at
+// its final hop, or dropped) and that the caller no longer references.
+// Traced runs retain packets inside trace buffers, so recycling is
+// disabled whenever a tracer is attached.
+func (m *Medium) FreePacket(p *Packet) {
+	if m.tracer != nil {
+		return
+	}
+	*p = Packet{}
+	m.freePkts = append(m.freePkts, p)
 }
 
 // Inject offers a packet to its current transmitter's queues. It
@@ -215,12 +298,13 @@ func (m *Medium) scheduleAttempt(n *nodeMAC) {
 	n.countStart = start
 	n.counting = true
 	n.attemptSeq++
-	seq := n.attemptSeq
 	// Scheduling in the future from a valid now cannot fail.
-	_ = m.eng.Schedule(expiry, phaseAttempt, func() { m.attempt(n, seq) })
+	_ = m.eng.ScheduleArg(expiry, phaseAttempt, n.attemptFn, n.attemptSeq)
 }
 
 // freeze pauses a counting node's backoff and extends its busy window.
+// A frozen contender is parked so the finish of whatever froze it
+// re-arms it without a network-wide scan.
 func (m *Medium) freeze(n *nodeMAC, until sim.Time) {
 	now := m.eng.Now()
 	if n.counting {
@@ -236,6 +320,9 @@ func (m *Medium) freeze(n *nodeMAC, until sim.Time) {
 	}
 	if until > n.busyUntil {
 		n.busyUntil = until
+	}
+	if n.pending != nil && !n.inExchange {
+		m.parked.set(int(n.id))
 	}
 }
 
@@ -256,7 +343,7 @@ func (m *Medium) attempt(n *nodeMAC, seq uint64) {
 	m.attempts = append(m.attempts, n)
 	if !m.resolveScheduled {
 		m.resolveScheduled = true
-		_ = m.eng.Schedule(now, phaseResolve, m.resolve)
+		_ = m.eng.Schedule(now, phaseResolve, m.resolveFn)
 	}
 }
 
@@ -268,21 +355,16 @@ func (m *Medium) attempt(n *nodeMAC, seq uint64) {
 func (m *Medium) resolve() {
 	now := m.eng.Now()
 	atts := m.attempts
-	m.attempts = nil
 	m.resolveScheduled = false
 
-	type outcome struct {
-		n  *nodeMAC
-		rx *nodeMAC // nil for broadcast
-		ok bool
-	}
-	var live []*nodeMAC
+	live := m.live[:0]
 	for _, n := range atts {
 		if n.pending != nil && !n.inExchange {
 			live = append(live, n)
 		}
 	}
-	outs := make([]outcome, 0, len(live))
+	m.attempts = atts[:0]
+	outs := m.outs[:0]
 	for _, n := range live {
 		if n.pending.Broadcast {
 			outs = append(outs, outcome{n: n, ok: true})
@@ -298,7 +380,7 @@ func (m *Medium) resolve() {
 				// A concurrent frame from `other` jams our receiver if
 				// it is within interference range, or if the receiver
 				// itself is attempting (transmitting, hence deaf).
-				if other == rx || m.interferes[other.id][rx.id] {
+				if other == rx || m.infBits[other.id].has(int(rx.id)) {
 					ok = false
 					break
 				}
@@ -306,6 +388,7 @@ func (m *Medium) resolve() {
 		}
 		outs = append(outs, outcome{n: n, rx: rx, ok: ok})
 	}
+	m.live, m.outs = live, outs
 	// Successes claim the floor first so that failures re-arm against
 	// the updated busy state. Broadcast receptions are computed before
 	// new exchanges change node states.
@@ -330,7 +413,7 @@ func (m *Medium) resolve() {
 	if anyFail {
 		// Failed RTS frames occupied the air near their senders;
 		// rescan once that clears.
-		_ = m.eng.Schedule(now+m.ch.CollisionTime(), phaseTxEnd, m.rescan)
+		_ = m.eng.Schedule(now+m.ch.CollisionTime(), phaseTxEnd, m.rescanFn)
 	}
 }
 
@@ -344,61 +427,67 @@ func (m *Medium) beginBroadcast(n *nodeMAC, attempters []*nodeMAC) {
 	end := now + dur
 	m.air.addExchange(n.id, dur)
 
-	var receivers []*nodeMAC
-	for i := range m.nodes {
-		w := m.nodes[i]
-		if w == n || !m.inRange[n.id][w.id] {
+	// The jam region is the union of every other attempter's position
+	// and interference row; a transmission-range neighbor outside it
+	// that is idle right now hears the frame.
+	m.jam.zero()
+	for _, a := range attempters {
+		if a == n {
 			continue
 		}
+		m.jam.set(int(a.id))
+		m.jam.or(m.infBits[a.id])
+	}
+	receivers := n.bcastRx[:0]
+	for _, wi := range m.rxNbrs[n.id] {
+		w := m.nodes[wi]
 		if w.inExchange || w.busyUntil > now {
 			continue
 		}
-		jammed := false
-		for _, a := range attempters {
-			if a == n || a == w {
-				if a == w {
-					jammed = true // the neighbor is transmitting itself
-					break
-				}
-				continue
-			}
-			if m.interferes[a.id][w.id] {
-				jammed = true
-				break
-			}
+		if m.jam.has(int(wi)) {
+			continue
 		}
-		if !jammed {
-			receivers = append(receivers, w)
-		}
+		receivers = append(receivers, w)
 	}
+	n.bcastRx = receivers
 
 	n.inExchange = true
 	n.counting = false
 	n.attemptSeq++
 	m.trace(TraceEvent{Kind: TraceBroadcast, At: now, Node: n.id, Peer: -1, Pkt: p})
-	for i := range m.nodes {
-		w := m.nodes[i]
-		if w == n || m.interferes[n.id][w.id] {
-			m.freeze(w, end)
-		}
+	m.freeze(n, end)
+	for _, wi := range m.infNbrs[n.id] {
+		m.freeze(m.nodes[wi], end)
 	}
-	_ = m.eng.Schedule(end, phaseTxEnd, func() { m.finishBroadcast(n, p, receivers) })
+	_ = m.eng.Schedule(end, phaseTxEnd, n.finishFn)
+}
+
+// finishTx completes the transmission the node started when it won the
+// floor, dispatching on the frame kind.
+func (m *Medium) finishTx(n *nodeMAC) {
+	p := n.pending
+	if p.Broadcast {
+		m.finishBroadcast(n, p)
+		return
+	}
+	m.finishExchange(n, m.nodes[p.Receiver()], p)
 }
 
 // finishBroadcast completes a broadcast transmission and delivers the
 // frame to each receiver.
-func (m *Medium) finishBroadcast(n *nodeMAC, p *Packet, receivers []*nodeMAC) {
+func (m *Medium) finishBroadcast(n *nodeMAC, p *Packet) {
 	now := m.eng.Now()
 	n.inExchange = false
 	n.sched.OnSuccess(p, 0, now)
 	n.pending = nil
 	n.retries = 0
 	if m.hooks.OnBroadcast != nil {
-		for _, w := range receivers {
+		for _, w := range n.bcastRx {
 			m.hooks.OnBroadcast(p, w.id, now)
 		}
 	}
-	m.rescan()
+	m.parked.set(int(n.id))
+	m.processParked()
 }
 
 // failAttempt charges a failed floor acquisition: the RTS occupies the
@@ -407,11 +496,9 @@ func (m *Medium) failAttempt(n *nodeMAC) {
 	now := m.eng.Now()
 	clear := now + m.ch.CollisionTime()
 	m.air.addCollision(m.ch.CollisionTime())
-	for i := range m.nodes {
-		w := m.nodes[i]
-		if w == n || m.interferes[n.id][w.id] {
-			m.freeze(w, clear)
-		}
+	m.freeze(n, clear)
+	for _, wi := range m.infNbrs[n.id] {
+		m.freeze(m.nodes[wi], clear)
 	}
 	if m.hooks.OnCollision != nil {
 		m.hooks.OnCollision(n.id, now)
@@ -450,16 +537,41 @@ func (m *Medium) beginExchange(n, rx *nodeMAC) {
 
 	m.trace(TraceEvent{Kind: TraceExchangeStart, At: now, Node: n.id, Peer: rx.id, Pkt: p})
 	tag, hasTag := n.sched.CurrentTag()
-	for i := range m.nodes {
-		w := m.nodes[i]
-		if w == n || w == rx || m.interferes[n.id][w.id] || m.interferes[rx.id][w.id] {
-			m.freeze(w, end)
+	ni, ri := int(n.id), int(rx.id)
+	m.freeze(n, end)
+	m.freeze(rx, end)
+	if hasTag && rx.sched != nil {
+		rx.sched.Observe(n.id, tag, now)
+	}
+	// Freeze and (when audible) tag-observe the union of both
+	// endpoints' interference neighborhoods, each node exactly once:
+	// the sender's neighbors, then the receiver's neighbors not
+	// already covered. Hearing requires transmission range, which is
+	// contained in interference range, so no observer is missed.
+	nRow, nHear, rHear := m.infBits[ni], m.rxBits[ni], m.rxBits[ri]
+	for _, wi := range m.infNbrs[ni] {
+		i := int(wi)
+		if i == ri {
+			continue
 		}
-		if hasTag && w != n && w.sched != nil && (m.inRange[n.id][w.id] || m.inRange[rx.id][w.id] || w == rx) {
+		w := m.nodes[wi]
+		m.freeze(w, end)
+		if hasTag && w.sched != nil && (nHear.has(i) || rHear.has(i)) {
 			w.sched.Observe(n.id, tag, now)
 		}
 	}
-	_ = m.eng.Schedule(end, phaseTxEnd, func() { m.finishExchange(n, rx, p) })
+	for _, wi := range m.infNbrs[ri] {
+		i := int(wi)
+		if i == ni || nRow.has(i) {
+			continue
+		}
+		w := m.nodes[wi]
+		m.freeze(w, end)
+		if hasTag && w.sched != nil && (nHear.has(i) || rHear.has(i)) {
+			w.sched.Observe(n.id, tag, now)
+		}
+	}
+	_ = m.eng.Schedule(end, phaseTxEnd, n.finishFn)
 }
 
 // finishExchange completes an exchange: the ACK delivers the
@@ -480,7 +592,9 @@ func (m *Medium) finishExchange(n, rx *nodeMAC, p *Packet) {
 	if m.hooks.OnDelivered != nil {
 		m.hooks.OnDelivered(p, now)
 	}
-	m.rescan()
+	m.parked.set(int(n.id))
+	m.parked.set(int(rx.id))
+	m.processParked()
 }
 
 // trace emits ev to the configured tracer, if any.
@@ -490,19 +604,36 @@ func (m *Medium) trace(ev TraceEvent) {
 	}
 }
 
-// rescan re-arms every node that is ready to contend and idle.
-func (m *Medium) rescan() {
+// processParked re-arms every parked node that is ready to contend, in
+// ascending node order — the incremental replacement for rescanning the
+// whole network after every transmission. Nodes still inside their busy
+// window stay parked: each freeze ends in a transmission finish or a
+// scheduled collision clear whose processParked call re-checks them.
+func (m *Medium) processParked() {
 	now := m.eng.Now()
-	for _, w := range m.nodes {
-		if w.sched == nil || w.inExchange {
-			continue
-		}
-		if w.pending == nil {
-			m.kick(w)
-			continue
-		}
-		if !w.counting && now >= w.busyUntil {
-			m.scheduleAttempt(w)
+	for wi, word := range m.parked {
+		for word != 0 {
+			i := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			w := m.nodes[i]
+			if w.sched == nil || w.inExchange {
+				// Exchange endpoints are re-parked when they finish.
+				m.parked.clear(i)
+				continue
+			}
+			if w.pending == nil {
+				m.parked.clear(i)
+				m.kick(w)
+				continue
+			}
+			if w.counting {
+				m.parked.clear(i)
+				continue
+			}
+			if now >= w.busyUntil {
+				m.parked.clear(i)
+				m.scheduleAttempt(w)
+			}
 		}
 	}
 }

@@ -1,0 +1,28 @@
+package mac
+
+// nodeset is a fixed-capacity set of node IDs packed 64 per word. The
+// medium carves one row per node for interference and reception
+// geometry, plus scratch sets for the contention hot path; all sets of
+// one medium share a length, so binary operations never mismatch.
+type nodeset []uint64
+
+// newNodeset returns an empty set able to hold members [0, n).
+func newNodeset(n int) nodeset { return make(nodeset, (n+63)>>6) }
+
+func (s nodeset) set(i int)      { s[i>>6] |= 1 << uint(i&63) }
+func (s nodeset) clear(i int)    { s[i>>6] &^= 1 << uint(i&63) }
+func (s nodeset) has(i int) bool { return s[i>>6]&(1<<uint(i&63)) != 0 }
+
+// zero clears every member.
+func (s nodeset) zero() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// or merges t into s.
+func (s nodeset) or(t nodeset) {
+	for i, w := range t {
+		s[i] |= w
+	}
+}

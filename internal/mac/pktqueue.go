@@ -1,0 +1,40 @@
+package mac
+
+// pktQueue is a FIFO packet buffer that reuses its backing array: pops
+// advance a head index instead of re-slicing away capacity, and a push
+// that would grow the array first compacts the live window back to the
+// front. Steady-state traffic through a drained or bounded queue
+// therefore allocates nothing, where the naive `queue = queue[1:]`
+// idiom leaks one array per packet once capacity is consumed.
+type pktQueue struct {
+	buf  []*Packet
+	head int
+}
+
+func (q *pktQueue) len() int { return len(q.buf) - q.head }
+
+// front returns the oldest packet; the queue must be non-empty.
+func (q *pktQueue) front() *Packet { return q.buf[q.head] }
+
+func (q *pktQueue) push(p *Packet) {
+	if len(q.buf) == cap(q.buf) && q.head > 0 {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, p)
+}
+
+func (q *pktQueue) pop() {
+	if q.head < len(q.buf) {
+		q.buf[q.head] = nil
+		q.head++
+		if q.head == len(q.buf) {
+			q.buf = q.buf[:0]
+			q.head = 0
+		}
+	}
+}

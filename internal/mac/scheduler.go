@@ -55,7 +55,7 @@ type Scheduler interface {
 // FIFO is the plain 802.11 scheduler: one drop-tail queue for the
 // whole node and binary exponential backoff.
 type FIFO struct {
-	queue    []*Packet
+	queue    pktQueue
 	capacity int
 	cwMin    int
 	cwMax    int
@@ -71,33 +71,26 @@ func NewFIFO(capacity, cwMin, cwMax int) *FIFO {
 
 // Enqueue implements Scheduler.
 func (f *FIFO) Enqueue(p *Packet, _ sim.Time) bool {
-	if len(f.queue) >= f.capacity {
+	if f.queue.len() >= f.capacity {
 		return false
 	}
-	f.queue = append(f.queue, p)
+	f.queue.push(p)
 	return true
 }
 
 // Head implements Scheduler.
 func (f *FIFO) Head(_ sim.Time) *Packet {
-	if len(f.queue) == 0 {
+	if f.queue.len() == 0 {
 		return nil
 	}
-	return f.queue[0]
+	return f.queue.front()
 }
 
 // OnSuccess implements Scheduler.
-func (f *FIFO) OnSuccess(_ *Packet, _ float64, _ sim.Time) { f.pop() }
+func (f *FIFO) OnSuccess(_ *Packet, _ float64, _ sim.Time) { f.queue.pop() }
 
 // OnDrop implements Scheduler.
-func (f *FIFO) OnDrop(_ *Packet, _ sim.Time) { f.pop() }
-
-func (f *FIFO) pop() {
-	if len(f.queue) > 0 {
-		f.queue[0] = nil
-		f.queue = f.queue[1:]
-	}
-}
+func (f *FIFO) OnDrop(_ *Packet, _ sim.Time) { f.queue.pop() }
 
 // DrawBackoff implements Scheduler: uniform in [0, CW] with CW
 // doubling per retry from CWmin to CWmax.
@@ -122,4 +115,4 @@ func (f *FIFO) Advise(topology.NodeID, sim.Time) float64 { return 0 }
 func (f *FIFO) CurrentTag() (float64, bool) { return 0, false }
 
 // Backlog implements Scheduler.
-func (f *FIFO) Backlog() int { return len(f.queue) }
+func (f *FIFO) Backlog() int { return f.queue.len() }

@@ -42,7 +42,7 @@ type TagSchedulerConfig struct {
 type tagQueue struct {
 	id         flow.SubflowID
 	share      float64 // allocated share c_i^j as a fraction of B
-	queue      []*Packet
+	queue      pktQueue
 	sTag       float64 // start tag of the head packet
 	iTag       float64 // internal finish tag of the head packet
 	lastFinish float64 // internal finish tag of the previously served packet
@@ -148,8 +148,8 @@ func (s *TagScheduler) SetShare(id flow.SubflowID, share float64) error {
 	}
 	s.nodeShare += share - q.share
 	q.share = share
-	if q.tagged && len(q.queue) > 0 {
-		q.iTag = q.sTag + s.serviceTime(q.queue[0], share)
+	if q.tagged && q.queue.len() > 0 {
+		q.iTag = q.sTag + s.serviceTime(q.queue.front(), share)
 	}
 	return nil
 }
@@ -181,14 +181,14 @@ func (s *TagScheduler) Enqueue(p *Packet, now sim.Time) bool {
 	if !ok {
 		return false
 	}
-	if len(q.queue) >= s.queueCap {
+	if q.queue.len() >= s.queueCap {
 		return false
 	}
 	if s.Backlog() == 0 && now-s.lastSend > s.maxAge {
 		s.reanchor(now)
 	}
-	q.queue = append(q.queue, p)
-	if len(q.queue) == 1 {
+	q.queue.push(p)
+	if q.queue.len() == 1 {
 		s.tagHead(q)
 	}
 	return true
@@ -215,7 +215,7 @@ func (s *TagScheduler) reanchor(now sim.Time) {
 // the max with the node's virtual clock re-anchors queues that have
 // been idle.
 func (s *TagScheduler) tagHead(q *tagQueue) {
-	p := q.queue[0]
+	p := q.queue.front()
 	q.sTag = s.vclock
 	if q.lastFinish > q.sTag {
 		q.sTag = q.lastFinish
@@ -227,13 +227,13 @@ func (s *TagScheduler) tagHead(q *tagQueue) {
 // Head implements Scheduler: smallest internal finish tag wins; the
 // selection is sticky until the packet leaves.
 func (s *TagScheduler) Head(_ sim.Time) *Packet {
-	if s.current != nil && len(s.current.queue) > 0 {
-		return s.current.queue[0]
+	if s.current != nil && s.current.queue.len() > 0 {
+		return s.current.queue.front()
 	}
 	s.current = nil
 	var best *tagQueue
 	for _, q := range s.queues {
-		if len(q.queue) == 0 {
+		if q.queue.len() == 0 {
 			continue
 		}
 		if !q.tagged {
@@ -247,7 +247,7 @@ func (s *TagScheduler) Head(_ sim.Time) *Packet {
 		return nil
 	}
 	s.current = best
-	return best.queue[0]
+	return best.queue.front()
 }
 
 // OnSuccess implements Scheduler: the virtual clock advances to the
@@ -256,10 +256,10 @@ func (s *TagScheduler) Head(_ sim.Time) *Packet {
 func (s *TagScheduler) OnSuccess(p *Packet, advice float64, now sim.Time) {
 	s.lastSend = now
 	q := s.current
-	if q == nil || len(q.queue) == 0 || q.queue[0] != p {
+	if q == nil || q.queue.len() == 0 || q.queue.front() != p {
 		q = s.bySubflow[p.SubflowID()]
 	}
-	if q == nil || len(q.queue) == 0 {
+	if q == nil || q.queue.len() == 0 {
 		return
 	}
 	eTag := q.sTag + s.serviceTime(p, s.nodeShare)
@@ -267,10 +267,9 @@ func (s *TagScheduler) OnSuccess(p *Packet, advice float64, now sim.Time) {
 		s.vclock = eTag
 	}
 	q.lastFinish = q.iTag
-	q.queue[0] = nil
-	q.queue = q.queue[1:]
+	q.queue.pop()
 	q.tagged = false
-	if len(q.queue) > 0 {
+	if q.queue.len() > 0 {
 		s.tagHead(q)
 	}
 	s.advice = advice
@@ -280,16 +279,15 @@ func (s *TagScheduler) OnSuccess(p *Packet, advice float64, now sim.Time) {
 // OnDrop implements Scheduler.
 func (s *TagScheduler) OnDrop(p *Packet, _ sim.Time) {
 	q := s.current
-	if q == nil || len(q.queue) == 0 || q.queue[0] != p {
+	if q == nil || q.queue.len() == 0 || q.queue.front() != p {
 		q = s.bySubflow[p.SubflowID()]
 	}
-	if q == nil || len(q.queue) == 0 {
+	if q == nil || q.queue.len() == 0 {
 		return
 	}
-	q.queue[0] = nil
-	q.queue = q.queue[1:]
+	q.queue.pop()
 	q.tagged = false
-	if len(q.queue) > 0 {
+	if q.queue.len() > 0 {
 		s.tagHead(q)
 	}
 	s.current = nil
@@ -369,7 +367,7 @@ func (s *TagScheduler) CurrentTag() (float64, bool) {
 func (s *TagScheduler) Backlog() int {
 	n := 0
 	for _, q := range s.queues {
-		n += len(q.queue)
+		n += q.queue.len()
 	}
 	return n
 }
@@ -381,5 +379,5 @@ func (s *TagScheduler) QueueLen(id flow.SubflowID) int {
 	if !ok {
 		return 0
 	}
-	return len(q.queue)
+	return q.queue.len()
 }

@@ -137,6 +137,7 @@ func Run(inst *core.Instance, cfg Config) (*Result, error) {
 			col.HopDelivered(p.SubflowID(), p.LastHop())
 			if p.LastHop() {
 				lat.Record(p.Flow, now-p.Born)
+				stack.Medium.FreePacket(p)
 				return
 			}
 			p.Hop++
@@ -144,6 +145,7 @@ func Run(inst *core.Instance, cfg Config) (*Result, error) {
 			if injErr == nil && !ok {
 				col.QueueDrop(true)
 				col.DropAt(p.SubflowID())
+				stack.Medium.FreePacket(p)
 			}
 		},
 		OnRetryDrop: func(p *mac.Packet, _ sim.Time) {
@@ -151,6 +153,7 @@ func Run(inst *core.Instance, cfg Config) (*Result, error) {
 			if p.Hop >= 1 {
 				col.DropAt(p.SubflowID())
 			}
+			stack.Medium.FreePacket(p)
 		},
 		OnCollision: func(_ topology.NodeID, _ sim.Time) {
 			col.Collision()

@@ -33,6 +33,11 @@ type event struct {
 	phase Phase
 	seq   uint64
 	fn    func()
+	// argFn/arg carry the closure-free form used by ScheduleArg: a
+	// long-lived handler plus a per-event word, so hot paths schedule
+	// without allocating a fresh closure per event.
+	argFn func(uint64)
+	arg   uint64
 }
 
 // before is the queue ordering: (time, phase, insertion sequence).
@@ -86,6 +91,7 @@ func (e *Engine) alloc() *event {
 // closure so the GC can reclaim captured state.
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
+	ev.argFn = nil
 	e.free = append(e.free, ev)
 }
 
@@ -152,6 +158,22 @@ func (e *Engine) ScheduleAt(at Time, fn func()) error {
 	return e.Schedule(at, 0, fn)
 }
 
+// ScheduleArg enqueues fn(arg) to run at the given time and phase.
+// Unlike Schedule, the handler is a long-lived function value and the
+// per-event state travels in arg, so steady-state callers (the MAC's
+// backoff expirations) schedule with zero allocations instead of
+// building a closure per event.
+func (e *Engine) ScheduleArg(at Time, phase Phase, fn func(uint64), arg uint64) error {
+	if at < e.now {
+		return ErrPast
+	}
+	ev := e.alloc()
+	e.seq++
+	ev.at, ev.phase, ev.seq, ev.fn, ev.argFn, ev.arg = at, phase, e.seq, nil, fn, arg
+	e.push(ev)
+	return nil
+}
+
 // After schedules fn to run delay microseconds from now.
 func (e *Engine) After(delay Time, phase Phase, fn func()) error {
 	if delay < 0 {
@@ -175,7 +197,11 @@ func (e *Engine) Run(until Time) int {
 		}
 		ev := e.pop()
 		e.now = ev.at
-		ev.fn()
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.argFn(ev.arg)
+		}
 		e.recycle(ev)
 		n++
 	}

@@ -50,6 +50,47 @@ func TestFIFOWithinPhase(t *testing.T) {
 	}
 }
 
+// TestScheduleArg checks that closure-free events interleave with
+// plain ones in strict (time, phase, insertion) order, carry their
+// argument, and reject the past like Schedule.
+func TestScheduleArg(t *testing.T) {
+	e := NewEngine()
+	var order []uint64
+	record := func(arg uint64) { order = append(order, arg) }
+	_ = e.ScheduleArg(20, 0, record, 3)
+	_ = e.Schedule(10, 1, func() { order = append(order, 2) })
+	_ = e.ScheduleArg(10, 0, record, 1)
+	_ = e.ScheduleArg(20, 0, record, 4)
+	e.Run(100)
+	if len(order) != 4 || order[0] != 1 || order[1] != 2 || order[2] != 3 || order[3] != 4 {
+		t.Errorf("order = %v", order)
+	}
+	if err := e.ScheduleArg(50, 0, record, 9); !errors.Is(err, ErrPast) {
+		t.Errorf("past ScheduleArg err = %v", err)
+	}
+}
+
+// TestScheduleArgSteadyStateAllocs pins the zero-alloc property the
+// MAC relies on: re-scheduling through the event free list with a
+// long-lived handler must not allocate.
+func TestScheduleArgSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	var fire func(uint64)
+	fire = func(arg uint64) {
+		if e.Now() < 1_000_000 {
+			_ = e.ScheduleArg(e.Now()+10, 0, fire, arg+1)
+		}
+	}
+	_ = e.ScheduleArg(0, 0, fire, 0)
+	e.Run(1000) // warm the free list
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Run(e.Now() + 1000)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state ScheduleArg allocates %.1f/run, want 0", allocs)
+	}
+}
+
 func TestScheduleFromCallback(t *testing.T) {
 	e := NewEngine()
 	var hits []Time

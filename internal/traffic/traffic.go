@@ -54,10 +54,11 @@ func StartCBR(eng *sim.Engine, medium *mac.Medium, cfg CBRConfig) error {
 		interval: interval,
 		path:     cfg.Flow.Path(),
 	}
+	src.emitFn = src.emit
 	if cfg.Offset >= cfg.Until {
 		return nil
 	}
-	return eng.Schedule(cfg.Offset, phaseInject, src.emit)
+	return eng.Schedule(cfg.Offset, phaseInject, src.emitFn)
 }
 
 type cbrSource struct {
@@ -67,26 +68,32 @@ type cbrSource struct {
 	interval sim.Time
 	path     []topology.NodeID
 	seq      int64
+	// emitFn is the bound emit method, created once so the periodic
+	// re-scheduling reuses a single function value.
+	emitFn func()
 }
 
-// emit injects one packet and schedules the next arrival.
+// emit injects one packet and schedules the next arrival. Packets come
+// from the medium's free list; a source-dropped packet goes straight
+// back to it once the drop callback has seen it.
 func (s *cbrSource) emit() {
 	now := s.eng.Now()
-	p := &mac.Packet{
-		Flow:         s.cfg.Flow.ID(),
-		Seq:          s.seq,
-		Path:         s.path,
-		Hop:          0,
-		PayloadBytes: s.cfg.PayloadBytes,
-		Born:         now,
-	}
+	p := s.medium.AllocPacket()
+	p.Flow = s.cfg.Flow.ID()
+	p.Seq = s.seq
+	p.Path = s.path
+	p.PayloadBytes = s.cfg.PayloadBytes
+	p.Born = now
 	s.seq++
 	ok, err := s.medium.Inject(p)
-	if err == nil && !ok && s.cfg.OnSourceDrop != nil {
-		s.cfg.OnSourceDrop(p, now)
+	if err == nil && !ok {
+		if s.cfg.OnSourceDrop != nil {
+			s.cfg.OnSourceDrop(p, now)
+		}
+		s.medium.FreePacket(p)
 	}
 	next := now + s.interval
 	if next < s.cfg.Until {
-		_ = s.eng.Schedule(next, phaseInject, s.emit)
+		_ = s.eng.Schedule(next, phaseInject, s.emitFn)
 	}
 }
