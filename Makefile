@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-lp bench-mac
+.PHONY: build test race bench bench-lp bench-mac bench-topo
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,10 @@ bench-lp: build
 # delivered packet (must stay ~0), written to BENCH_mac.json.
 bench-mac: build
 	$(GO) run ./cmd/benchtables -only mac -json BENCH_mac.json
+
+# Topology-layer perf trajectory: grid vs all-pairs build ns/node at
+# 1k/4k nodes, incidence vs pairwise contention edges/s on a 1k-node
+# scenario, and incremental vs rebuild mobility epoch wall time,
+# written to BENCH_topo.json.
+bench-topo: build
+	$(GO) run ./cmd/benchtables -only topo -json BENCH_topo.json

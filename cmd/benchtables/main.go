@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -29,15 +30,19 @@ import (
 	"testing"
 	"time"
 
+	"e2efair/internal/contention"
 	"e2efair/internal/core"
 	"e2efair/internal/flow"
+	"e2efair/internal/geom"
 	"e2efair/internal/lp"
 	"e2efair/internal/mobility"
 	"e2efair/internal/netsim"
+	"e2efair/internal/routing"
 	"e2efair/internal/scenario"
 	"e2efair/internal/sim"
 	"e2efair/internal/stats"
 	"e2efair/internal/tdma"
+	"e2efair/internal/topology"
 	"e2efair/internal/transport"
 )
 
@@ -72,7 +77,7 @@ func (s *Section) add(label string, values map[string]float64) {
 func main() {
 	duration := flag.Float64("duration", 200, "simulated seconds for Tables II/III (paper: 1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp, mac")
+	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp, mac, topo")
 	jsonPath := flag.String("json", "", "write machine-readable metrics and wall-clock timings to this file")
 	flag.Parse()
 	if err := run(*duration, *seed, *only, *jsonPath); err != nil {
@@ -90,6 +95,7 @@ func run(durationSec float64, seed int64, only, jsonPath string) error {
 		{"fig6", fig6}, {"tableI", tableI}, {"tableII", tableII}, {"tableIII", tableIII},
 		{"ideal", ideal}, {"transport", reliableTransport}, {"random", randomSweep},
 		{"mobility", mobilitySection}, {"lp", lpSection}, {"mac", macSection},
+		{"topo", topoSection},
 	}
 	report := &Report{DurationSec: durationSec, Seed: seed}
 	start := time.Now()
@@ -542,6 +548,23 @@ func tableIII(durationSec float64, seed int64, sec *Section) error {
 			"2PA-C flow throughputs ∝ (1/3, 1/3, 2/3, 1/8, 3/4)", sec)
 }
 
+// nsPerOp times f with iteration-count calibration (≥100ms of
+// samples), mirroring the testing package's methodology. Functions
+// slower than ~2ms are timed by their first 64-iteration batch.
+func nsPerOp(f func() error) (float64, error) {
+	for iters := 64; ; iters *= 4 {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := f(); err != nil {
+				return 0, err
+			}
+		}
+		if el := time.Since(start); el >= 100*time.Millisecond || iters >= 1<<22 {
+			return float64(el.Nanoseconds()) / float64(iters), nil
+		}
+	}
+}
+
 // lpSection measures the LP-solver fast path added by the flat-tableau
 // reusable Solver: cold solves against the retained reference, the
 // warm-started steady-state re-solve loop (which must not allocate),
@@ -569,22 +592,6 @@ func lpSection(_ float64, _ int64, sec *Section) error {
 			}
 		}
 		return p, nil
-	}
-
-	// nsPerOp times f with iteration-count calibration (≥100ms of
-	// samples), mirroring the testing package's methodology.
-	nsPerOp := func(f func() error) (float64, error) {
-		for iters := 64; ; iters *= 4 {
-			start := time.Now()
-			for i := 0; i < iters; i++ {
-				if err := f(); err != nil {
-					return 0, err
-				}
-			}
-			if el := time.Since(start); el >= 100*time.Millisecond || iters >= 1<<22 {
-				return float64(el.Nanoseconds()) / float64(iters), nil
-			}
-		}
 	}
 
 	p, err := buildFig6()
@@ -745,5 +752,166 @@ func macSection(_ float64, seed int64, sec *Section) error {
 	perPkt := (mLong - mShort) / (pLong - pShort)
 	fmt.Printf("steady-state allocations:        %10.3f allocs/delivered pkt (fig6 2PA-C)\n", perPkt)
 	sec.add("allocs", map[string]float64{"perDeliveredPkt": perPkt})
+	return nil
+}
+
+// topoSection measures the topology-layer fast path: grid-backed
+// neighbor builds against the seed's all-pairs scan, incidence-based
+// contention builds against the pairwise predicate sweep, and the
+// incremental mobility epoch pipeline against the full per-epoch
+// rebuild. Emitted to BENCH_topo.json by `make bench-topo`.
+func topoSection(_ float64, seed int64, sec *Section) error {
+	fmt.Println("== Topology-layer fast path ==")
+	rng := rand.New(rand.NewSource(seed))
+
+	// Topology build: random placements at constant density (~10
+	// neighbors per node at the default 250 m range).
+	for _, n := range []int{1000, 4000} {
+		side := math.Sqrt(float64(n) * 19635)
+		names := make([]string, n)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			names[i] = fmt.Sprintf("n%d", i)
+			pts[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		}
+		gridNs, err := nsPerOp(func() error {
+			b := topology.NewBuilder(topology.DefaultRange, 0)
+			for i := range pts {
+				b.Add(names[i], pts[i].X, pts[i].Y)
+			}
+			_, err := b.Build()
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		// The seed's neighbor discovery, reproduced verbatim in shape:
+		// for every node, a scan over every other node, then a per-row
+		// sort — exactly what Builder.Build did before the grid index.
+		naiveNs, err := nsPerOp(func() error {
+			nbr := make([][]topology.NodeID, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if j != i && pts[i].InRange(pts[j], topology.DefaultRange) {
+						nbr[i] = append(nbr[i], topology.NodeID(j))
+					}
+				}
+				row := nbr[i]
+				sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("topology build n=%-5d  grid %8.0f ns/node   all-pairs scan %8.0f ns/node   speedup %5.1fx\n",
+			n, gridNs/float64(n), naiveNs/float64(n), naiveNs/gridNs)
+		sec.add(fmt.Sprintf("build-n%d", n), map[string]float64{
+			"gridNsPerNode":  gridNs / float64(n),
+			"naiveNsPerNode": naiveNs / float64(n),
+			"speedup":        naiveNs / gridNs,
+		})
+	}
+
+	// Contention build on a 1000-node connected scenario with 60 routed
+	// flows, the shape the allocation pipeline sees at scale.
+	topo, err := topology.Random(topology.RandomConfig{
+		Nodes: 1000, Width: 4400, Height: 4400, Connect: true,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	var subs []flow.Subflow
+	for added := 0; added < 60; {
+		src := topology.NodeID(rng.Intn(topo.NumNodes()))
+		dst := topology.NodeID(rng.Intn(topo.NumNodes()))
+		if src == dst {
+			continue
+		}
+		path, err := routing.ShortestPath(topo, src, dst)
+		if err != nil {
+			continue
+		}
+		f, err := flow.New(flow.ID(fmt.Sprintf("F%d", added)), 1, path)
+		if err != nil {
+			continue
+		}
+		subs = append(subs, f.Subflows()...)
+		added++
+	}
+	edges := contention.NewGraph(topo, subs).NumEdges()
+	incNs, err := nsPerOp(func() error {
+		contention.NewGraph(topo, subs)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	pairNs, err := nsPerOp(func() error {
+		count := 0
+		for i := range subs {
+			for j := i + 1; j < len(subs); j++ {
+				if contention.Contend(topo, subs[i], subs[j]) {
+					count++
+				}
+			}
+		}
+		if count != edges {
+			return fmt.Errorf("pairwise sweep found %d edges, graph has %d", count, edges)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("contention build (%d subflows, %d edges): incidence %8.1f Medges/s   pairwise %8.1f Medges/s   speedup %5.1fx\n",
+		len(subs), edges, float64(edges)/incNs*1e3, float64(edges)/pairNs*1e3, pairNs/incNs)
+	sec.add("contention-1k", map[string]float64{
+		"subflows":           float64(len(subs)),
+		"edges":              float64(edges),
+		"incidenceEdgesPerS": float64(edges) / incNs * 1e9,
+		"pairwiseEdgesPerS":  float64(edges) / pairNs * 1e9,
+		"speedup":            pairNs / incNs,
+	})
+
+	// Mobility epochs: slow nodes, so most epoch boundaries leave the
+	// adjacency unchanged — the regime the incremental pipeline targets.
+	mobFlows := make([]mobility.FlowSpec, 10)
+	for i := range mobFlows {
+		mobFlows[i] = mobility.FlowSpec{
+			ID:  flow.ID(fmt.Sprintf("F%d", i+1)),
+			Src: i * 8, Dst: 75 + i*7,
+		}
+	}
+	mobCfg := mobility.Config{
+		Nodes: 150,
+		Waypoint: mobility.WaypointConfig{
+			Width: 1800, Height: 1800, MinSpeed: 0.01, MaxSpeed: 0.1,
+		},
+		Flows:    mobFlows,
+		Protocol: netsim.Protocol2PAC,
+		Epoch:    2 * sim.Second,
+		Duration: 60 * sim.Second,
+		Seed:     seed,
+		Net:      netsim.Config{PacketsPerS: 1},
+	}
+	epochs := float64(mobCfg.Duration / mobCfg.Epoch)
+	incEpochNs, err := nsPerOp(func() error { _, err := mobility.Run(mobCfg); return err })
+	if err != nil {
+		return err
+	}
+	rebCfg := mobCfg
+	rebCfg.Rebuild = true
+	rebEpochNs, err := nsPerOp(func() error { _, err := mobility.Run(rebCfg); return err })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mobility epoch (150 nodes, 10 flows): incremental %6.3f ms/epoch   rebuild %6.3f ms/epoch   speedup %5.1fx\n",
+		incEpochNs/epochs/1e6, rebEpochNs/epochs/1e6, rebEpochNs/incEpochNs)
+	sec.add("mobility-epoch", map[string]float64{
+		"incrementalMsPerEpoch": incEpochNs / epochs / 1e6,
+		"rebuildMsPerEpoch":     rebEpochNs / epochs / 1e6,
+		"speedup":               rebEpochNs / incEpochNs,
+	})
 	return nil
 }

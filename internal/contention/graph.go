@@ -85,10 +85,33 @@ func BuildGraph(t *topology.Topology, flows *flow.Set) *Graph {
 	return NewGraph(t, flows.Subflows())
 }
 
+// incidenceCutoff is the vertex count below which the S² pairwise
+// sweep beats building the incidence index.
+const incidenceCutoff = 24
+
 // NewGraph constructs the contention graph over an explicit subflow
-// list, which lets callers build local (per-node) graphs.
+// list, which lets callers build local (per-node) graphs. Candidate
+// contender pairs are generated from a node→subflow incidence index
+// joined with the topology's neighbor lists instead of testing all S²
+// pairs: subflow j contends with i exactly when some endpoint of j is
+// an endpoint u of i or one of u's transmission-range neighbors, so
+// scanning the incidence lists of {u} ∪ Neighbors(u) enumerates i's
+// contenders with no post-filter. The result is byte-identical to the
+// seed's pairwise build, which is retained as buildEdgesPairwise (the
+// reference oracle pinned by the randomized cross-check tests).
 func NewGraph(t *topology.Topology, subflows []flow.Subflow) *Graph {
 	g := newGraphShell(subflows)
+	if t == nil || len(subflows) < incidenceCutoff {
+		g.buildEdgesPairwise(t)
+		return g
+	}
+	g.buildEdgesIncidence(t)
+	return g
+}
+
+// buildEdgesPairwise is the seed's all-pairs Contend sweep, retained as
+// the reference oracle for the incidence build.
+func (g *Graph) buildEdgesPairwise(t *topology.Topology) {
 	for i := 0; i < len(g.subflows); i++ {
 		for j := i + 1; j < len(g.subflows); j++ {
 			if Contend(t, g.subflows[i], g.subflows[j]) {
@@ -96,7 +119,62 @@ func NewGraph(t *topology.Topology, subflows []flow.Subflow) *Graph {
 			}
 		}
 	}
-	return g
+}
+
+// buildEdgesIncidence adds the same edge set as buildEdgesPairwise in
+// O(Σ candidate-list lengths) instead of O(S²).
+func (g *Graph) buildEdgesIncidence(t *topology.Topology) {
+	s := len(g.subflows)
+	n := t.NumNodes()
+	// CSR incidence index: for node u, the vertices with an endpoint at
+	// u are inc[starts[u]:starts[u+1]], ascending.
+	starts := make([]int32, n+1)
+	for i := range g.subflows {
+		starts[g.subflows[i].Src+1]++
+		starts[g.subflows[i].Dst+1]++
+	}
+	for u := 0; u < n; u++ {
+		starts[u+1] += starts[u]
+	}
+	inc := make([]int32, 2*s)
+	for i := range g.subflows {
+		sf := &g.subflows[i]
+		inc[starts[sf.Src]] = int32(i)
+		starts[sf.Src]++
+		inc[starts[sf.Dst]] = int32(i)
+		starts[sf.Dst]++
+	}
+	copy(starts[1:n+1], starts[:n])
+	starts[0] = 0
+
+	for i := 0; i < s; i++ {
+		sf := &g.subflows[i]
+		ends := [2]topology.NodeID{sf.Src, sf.Dst}
+		for e, u := range ends {
+			if e == 1 && ends[0] == ends[1] {
+				break
+			}
+			g.connectCandidates(i, inc[starts[u]:starts[u+1]])
+			for _, v := range t.Neighbors(u) {
+				g.connectCandidates(i, inc[starts[v]:starts[v+1]])
+			}
+		}
+	}
+}
+
+// connectCandidates adds an edge from vertex i to every candidate
+// vertex j > i not already connected. Each candidate is a true
+// contender by construction; only the seed sweep's self/duplicate-ID
+// exclusions apply.
+func (g *Graph) connectCandidates(i int, cands []int32) {
+	row := g.rows[i]
+	for _, jj := range cands {
+		j := int(jj)
+		if j <= i || row.has(j) || g.subflows[j].ID == g.subflows[i].ID {
+			continue
+		}
+		g.addEdge(i, j)
+	}
 }
 
 // NewGraphFromEdges builds a contention graph directly from an
@@ -151,9 +229,18 @@ func (g *Graph) NumEdges() int {
 	return sum / 2
 }
 
-// Neighbors returns the vertex indices adjacent to i, ascending.
+// Neighbors returns the vertex indices adjacent to i, ascending. It
+// allocates a fresh slice per call; hot paths should use
+// AppendNeighbors.
 func (g *Graph) Neighbors(i int) []int {
 	return g.rows[i].appendMembers(make([]int, 0, g.degrees[i]))
+}
+
+// AppendNeighbors appends the vertex indices adjacent to i to buf in
+// ascending order and returns the extended slice — the zero-allocation
+// form of Neighbors for reused buffers.
+func (g *Graph) AppendNeighbors(i int, buf []int) []int {
+	return g.rows[i].appendMembers(buf)
 }
 
 // Components partitions the vertices into connected components, each

@@ -36,6 +36,15 @@ type Config struct {
 	Duration sim.Time // default 100 s
 	Seed     int64
 	TxRange  float64 // default 250 m
+	// Rebuild selects the full per-epoch rebuild pipeline — fresh
+	// topology, per-flow shortest-path searches, instance, and
+	// allocator every epoch — instead of the default incremental one.
+	// It is the reference baseline the incremental pipeline is
+	// benchmarked against; the incremental pipeline additionally keeps
+	// a flow's previous route while it remains a valid shortcut-free
+	// path (DSR-style route maintenance), where Rebuild always
+	// switches to a current shortest path.
+	Rebuild bool
 	// Net carries packet-level parameters (rate, queue, α…); its
 	// Protocol/Duration/Seed fields are managed per epoch.
 	Net netsim.Config
@@ -95,6 +104,17 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Rebuild {
+		return runRebuild(cfg, wp)
+	}
+	return runIncremental(cfg, wp)
+}
+
+// runRebuild is the reference epoch loop: every epoch rebuilds the
+// topology from scratch, re-searches every flow's shortest path, and
+// constructs a fresh instance and allocator. Kept as the oracle the
+// incremental pipeline is cross-checked and benchmarked against.
+func runRebuild(cfg Config, wp *Waypoint) (*Result, error) {
 	res := &Result{PerFlow: make(map[flow.ID]int64, len(cfg.Flows))}
 	prevRoutes := make(map[flow.ID][]topology.NodeID, len(cfg.Flows))
 
@@ -133,34 +153,242 @@ func Run(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			netCfg := cfg.Net
-			netCfg.Protocol = cfg.Protocol
-			netCfg.Duration = cfg.Epoch
-			netCfg.Seed = cfg.Seed + int64(start)
-			run, err := netsim.Run(inst, netCfg)
+			run, err := netsim.Run(inst, epochNetConfig(cfg, start))
 			if err != nil {
 				return nil, err
 			}
-			ep.Delivered = run.Stats.TotalEndToEnd()
-			ep.Lost = run.Stats.Lost()
-			res.TotalDelivered += ep.Delivered
-			res.TotalLost += ep.Lost
-			for _, f := range set.Flows() {
-				res.PerFlow[f.ID()] += run.Stats.EndToEnd(f.ID())
-			}
-			if run.Shares != nil {
-				ep.Allocation = make(core.FlowAllocation, set.Len())
-				for _, f := range set.Flows() {
-					if s, ok := run.Shares[flow.SubflowID{Flow: f.ID(), Hop: 0}]; ok {
-						ep.Allocation[f.ID()] = s
-					}
-				}
-			}
+			accountEpoch(res, &ep, set, run)
 		}
 		res.Epochs = append(res.Epochs, ep)
 		wp.Advance(cfg.Epoch)
 	}
 	return res, nil
+}
+
+// maxCachedInstances bounds the incremental loop's instance cache; on
+// overflow the cache is cleared rather than evicted piecemeal, since a
+// mobile run that cycles through this many distinct (adjacency, route
+// set) states gets little from reuse anyway.
+const maxCachedInstances = 64
+
+// runIncremental is the epoch loop with work reuse across epochs: one
+// topology Snapshotter (grid, arenas, change detection), DSR-style
+// route maintenance that keeps still-valid routes and batches repairs
+// by source through one BFS tree, flow/set/instance reuse whenever the
+// (adjacency, routes) state repeats, and one allocator whose solver
+// scratch and warm-start cache span the whole run.
+func runIncremental(cfg Config, wp *Waypoint) (*Result, error) {
+	res := &Result{PerFlow: make(map[flow.ID]int64, len(cfg.Flows))}
+	names := make([]string, cfg.Nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i)
+	}
+	snap, err := topology.NewSnapshotter(names, cfg.TxRange, 0)
+	if err != nil {
+		return nil, err
+	}
+	allocator := core.NewAllocator()
+	var (
+		pos       []geom.Point
+		bt        routing.BFSTree
+		pending   []int // spec indices needing a fresh route
+		srcOrder  []topology.NodeID
+		keyBuf    []byte
+		curFlows  []*flow.Flow
+		prevFlows []*flow.Flow
+		prevSet   *flow.Set
+	)
+	prevRoutes := make(map[flow.ID][]topology.NodeID, len(cfg.Flows))
+	flowCache := make(map[flow.ID]*flow.Flow, len(cfg.Flows))
+	flowPaths := make(map[flow.ID][]topology.NodeID, len(cfg.Flows))
+	instCache := make(map[string]*core.Instance)
+	shareCache := make(map[string]core.SubflowAllocation)
+	bySrc := make(map[topology.NodeID][]int)
+
+	for start := sim.Time(0); start < cfg.Duration; start += cfg.Epoch {
+		pos = wp.AppendPositions(pos[:0])
+		topo, changed, err := snap.Snapshot(pos)
+		if err != nil {
+			return nil, err
+		}
+		ep := EpochStat{Start: start}
+
+		routes := prevRoutes
+		if changed || len(res.Epochs) == 0 {
+			// Breakage scan, identical to the rebuild baseline. When the
+			// adjacency is unchanged no link can have broken (tx range ==
+			// interference range here), so the scan is skipped outright.
+			for _, route := range prevRoutes {
+				for i := 0; i+1 < len(route); i++ {
+					if !topo.InTxRange(route[i], route[i+1]) {
+						ep.Broken++
+						res.RouteBreaks++
+						break
+					}
+				}
+			}
+			// Route maintenance: a flow keeps its previous route while it
+			// remains a valid shortcut-free path; the rest are repaired in
+			// batches — one BFS per distinct source node answers every
+			// flow originating there.
+			routes = make(map[flow.ID][]topology.NodeID, len(cfg.Flows))
+			pending = pending[:0]
+			for si, fs := range cfg.Flows {
+				if prev, ok := prevRoutes[fs.ID]; ok && routing.PathStillValid(topo, prev) {
+					routes[fs.ID] = prev
+					continue
+				}
+				pending = append(pending, si)
+			}
+			srcOrder = srcOrder[:0]
+			for _, si := range pending {
+				src := topology.NodeID(cfg.Flows[si].Src)
+				if _, ok := bySrc[src]; !ok {
+					srcOrder = append(srcOrder, src)
+				}
+				bySrc[src] = append(bySrc[src], si)
+			}
+			for _, src := range srcOrder {
+				if err := bt.Build(topo, src); err != nil {
+					return nil, err
+				}
+				for _, si := range bySrc[src] {
+					fs := cfg.Flows[si]
+					dst := topology.NodeID(fs.Dst)
+					if !bt.Reached(dst) {
+						continue // unreachable this epoch
+					}
+					path, err := bt.PathTo(dst)
+					if err != nil {
+						return nil, err
+					}
+					routes[fs.ID] = path
+				}
+				delete(bySrc, src)
+			}
+			for id, route := range routes {
+				if prev, ok := prevRoutes[id]; ok && !samePath(prev, route) {
+					ep.Rerouted++
+				}
+			}
+		}
+		res.Unreachable += len(cfg.Flows) - len(routes)
+		ep.Routed = len(routes)
+		prevRoutes = routes
+
+		// Assemble the epoch's flow set in spec order, reusing flow
+		// objects whose route is unchanged, and building the instance
+		// cache key (adjacency fingerprint + flow IDs + routes) as we go.
+		fp := topo.AdjacencyFingerprint()
+		keyBuf = keyBuf[:0]
+		for shift := 0; shift < 64; shift += 8 {
+			keyBuf = append(keyBuf, byte(fp>>shift))
+		}
+		curFlows = curFlows[:0]
+		for _, fs := range cfg.Flows {
+			route, ok := routes[fs.ID]
+			if !ok {
+				continue
+			}
+			f := flowCache[fs.ID]
+			if f == nil || !samePath(flowPaths[fs.ID], route) {
+				weight := fs.Weight
+				if weight == 0 {
+					weight = 1
+				}
+				f, err = flow.New(fs.ID, weight, route)
+				if err != nil {
+					return nil, err
+				}
+				flowCache[fs.ID] = f
+				flowPaths[fs.ID] = route
+			}
+			curFlows = append(curFlows, f)
+			keyBuf = append(keyBuf, fs.ID...)
+			keyBuf = append(keyBuf, 0)
+			for _, n := range route {
+				v := uint32(n)
+				keyBuf = append(keyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			keyBuf = append(keyBuf, 0xFF)
+		}
+		set := prevSet
+		if set == nil || !sameFlowObjects(prevFlows, curFlows) {
+			set, err = flow.NewSet(curFlows...)
+			if err != nil {
+				return nil, err
+			}
+		}
+		prevFlows = append(prevFlows[:0], curFlows...)
+		prevSet = set
+
+		if set.Len() > 0 {
+			key := string(keyBuf)
+			inst, hit := instCache[key]
+			// A fingerprint collision could alias two adjacencies to one
+			// key; verify exactly before trusting a hit.
+			if hit && !inst.Topo.EqualAdjacency(topo) {
+				hit = false
+			}
+			if !hit {
+				inst, err = core.NewInstance(topo, set)
+				if err != nil {
+					return nil, err
+				}
+				if len(instCache) >= maxCachedInstances {
+					clear(instCache)
+					clear(shareCache)
+				}
+				instCache[key] = inst
+			}
+			netCfg := epochNetConfig(cfg, start)
+			// The first-phase solve is deterministic per instance, so a
+			// repeated (adjacency, routes) state replays its cached
+			// allocation instead of re-running the solver.
+			netCfg.Shares = shareCache[key]
+			run, err := netsim.RunWith(allocator, inst, netCfg)
+			if err != nil {
+				return nil, err
+			}
+			if run.Shares != nil {
+				shareCache[key] = run.Shares
+			}
+			accountEpoch(res, &ep, set, run)
+		}
+		res.Epochs = append(res.Epochs, ep)
+		wp.Advance(cfg.Epoch)
+	}
+	return res, nil
+}
+
+// epochNetConfig derives one epoch's packet-level config: the run's
+// protocol, the epoch as duration, and a per-epoch seed.
+func epochNetConfig(cfg Config, start sim.Time) netsim.Config {
+	netCfg := cfg.Net
+	netCfg.Protocol = cfg.Protocol
+	netCfg.Duration = cfg.Epoch
+	netCfg.Seed = cfg.Seed + int64(start)
+	return netCfg
+}
+
+// accountEpoch folds one epoch's packet-run metrics into the epoch
+// stat and run totals.
+func accountEpoch(res *Result, ep *EpochStat, set *flow.Set, run *netsim.Result) {
+	ep.Delivered = run.Stats.TotalEndToEnd()
+	ep.Lost = run.Stats.Lost()
+	res.TotalDelivered += ep.Delivered
+	res.TotalLost += ep.Lost
+	for _, f := range set.Flows() {
+		res.PerFlow[f.ID()] += run.Stats.EndToEnd(f.ID())
+	}
+	if run.Shares != nil {
+		ep.Allocation = make(core.FlowAllocation, set.Len())
+		for _, f := range set.Flows() {
+			if s, ok := run.Shares[flow.SubflowID{Flow: f.ID(), Hop: 0}]; ok {
+				ep.Allocation[f.ID()] = s
+			}
+		}
+	}
 }
 
 // buildTopo snapshots positions into a topology.
@@ -203,6 +431,21 @@ func routeFlows(topo *topology.Topology, specs []FlowSpec) (*flow.Set, map[flow.
 
 // samePath reports whether two routes are identical.
 func samePath(a, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameFlowObjects reports whether two flow lists hold the identical
+// objects in the same order, which (with the flow cache) means the
+// epoch's set composition is unchanged.
+func sameFlowObjects(a, b []*flow.Flow) bool {
 	if len(a) != len(b) {
 		return false
 	}

@@ -123,11 +123,17 @@ func (w *Waypoint) advanceNode(i int, target sim.Time) {
 
 // Positions returns a snapshot of current node positions.
 func (w *Waypoint) Positions() []geom.Point {
-	out := make([]geom.Point, len(w.nodes))
-	for i, n := range w.nodes {
-		out[i] = n.pos
+	return w.AppendPositions(make([]geom.Point, 0, len(w.nodes)))
+}
+
+// AppendPositions appends the current node positions to dst and
+// returns the extended slice, letting epoch loops reuse one buffer
+// instead of allocating a snapshot per epoch.
+func (w *Waypoint) AppendPositions(dst []geom.Point) []geom.Point {
+	for i := range w.nodes {
+		dst = append(dst, w.nodes[i].pos)
 	}
-	return out
+	return dst
 }
 
 // Now returns the model's current time.

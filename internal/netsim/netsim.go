@@ -74,6 +74,12 @@ type Config struct {
 	SampleEvery sim.Time
 	// Tracer, when set, receives every MAC-level event.
 	Tracer mac.Tracer
+	// Shares, when non-nil, installs the given first-phase allocation
+	// directly instead of solving for it. The solver is deterministic
+	// per (instance, protocol), so callers that re-run one instance —
+	// the mobility epoch loop — can cache its output across runs. Nil
+	// solves as usual.
+	Shares core.SubflowAllocation
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +134,14 @@ type Result struct {
 
 // Run executes one simulation.
 func Run(inst *core.Instance, cfg Config) (*Result, error) {
+	return RunWith(nil, inst, cfg)
+}
+
+// RunWith is Run with a caller-held core.Allocator for the first-phase
+// shares, letting epoch loops (mobility.Run) reuse one allocator's
+// solver scratch and warm-start cache across many runs. A nil
+// allocator behaves exactly like Run.
+func RunWith(a *core.Allocator, inst *core.Instance, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	col := stats.NewCollector()
 	lat := stats.NewLatencyTracker()
@@ -159,7 +173,7 @@ func Run(inst *core.Instance, cfg Config) (*Result, error) {
 			col.Collision()
 		},
 	}
-	stack, err := NewStack(inst, cfg, hooks)
+	stack, err := NewStackWith(a, inst, cfg, hooks)
 	if err != nil {
 		return nil, err
 	}

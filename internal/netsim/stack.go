@@ -24,13 +24,26 @@ type Stack struct {
 // NewStack builds engine, channel, medium and per-node schedulers for
 // the instance under the given config, with the caller's MAC hooks.
 func NewStack(inst *core.Instance, cfg Config, hooks mac.Hooks) (*Stack, error) {
+	return NewStackWith(nil, inst, cfg, hooks)
+}
+
+// NewStackWith is NewStack with a caller-held core.Allocator computing
+// the first-phase shares: repeated stack builds — the mobility epoch
+// loop — reuse LP solver scratch and warm-start group LPs already
+// solved for an earlier, identical instance. A nil allocator behaves
+// exactly like NewStack.
+func NewStackWith(a *core.Allocator, inst *core.Instance, cfg Config, hooks mac.Hooks) (*Stack, error) {
 	cfg = cfg.withDefaults()
 	if inst.Topo == nil {
 		return nil, ErrNeedTopology
 	}
-	shares, err := sharesFor(inst, cfg.Protocol)
-	if err != nil {
-		return nil, err
+	shares := cfg.Shares
+	if shares == nil {
+		var err error
+		shares, err = sharesForWith(a, inst, cfg.Protocol)
+		if err != nil {
+			return nil, err
+		}
 	}
 	eng := sim.NewEngine()
 	rng := rand.New(rand.NewSource(cfg.Seed))

@@ -1,0 +1,135 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"e2efair/internal/topology"
+)
+
+func randomTopo(tb testing.TB, rng *rand.Rand, n int, side float64) *topology.Topology {
+	tb.Helper()
+	b := topology.NewBuilder(topology.DefaultRange, 0)
+	for i := 0; i < n; i++ {
+		b.Add(fmt.Sprintf("n%d", i), rng.Float64()*side, rng.Float64()*side)
+	}
+	topo, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return topo
+}
+
+// TestBFSTreePathsMatchShortestPath checks that one built tree answers
+// every destination with exactly the path the per-query search returns
+// (same deterministic tie-breaking), including unreachable ones, and
+// that reusing the tree across sources and topologies stays correct.
+func TestBFSTreePathsMatchShortestPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	var bt BFSTree
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(50)
+		topo := randomTopo(t, rng, n, topology.DefaultRange*(0.5+rng.Float64()*6))
+		src := topology.NodeID(rng.Intn(n))
+		if err := bt.Build(topo, src); err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d < n; d++ {
+			dst := topology.NodeID(d)
+			want, wantErr := ShortestPath(topo, src, dst)
+			if wantErr != nil {
+				if bt.Reached(dst) {
+					t.Fatalf("trial %d: tree reaches %d but ShortestPath fails: %v", trial, d, wantErr)
+				}
+				continue
+			}
+			if !bt.Reached(dst) {
+				t.Fatalf("trial %d: ShortestPath finds %d but tree does not", trial, d)
+			}
+			got, err := bt.PathTo(dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: PathTo(%d) = %v, want %v", trial, d, got, want)
+			}
+		}
+	}
+}
+
+func TestBFSTreeBadSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	topo := randomTopo(t, rng, 5, 400)
+	var bt BFSTree
+	if err := bt.Build(topo, -1); err == nil {
+		t.Fatal("negative source should fail")
+	}
+	if bt.Reached(0) {
+		t.Fatal("failed build must not report reachability")
+	}
+	if err := bt.Build(topo, 99); err == nil {
+		t.Fatal("out-of-range source should fail")
+	}
+}
+
+func TestPathStillValidMatchesValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(40)
+		topo := randomTopo(t, rng, n, topology.DefaultRange*(1+rng.Float64()*5))
+		src := topology.NodeID(rng.Intn(n))
+		dst := topology.NodeID(rng.Intn(n))
+		if src == dst {
+			continue
+		}
+		path, err := ShortestPath(topo, src, dst)
+		if err != nil || len(path) < 2 {
+			continue
+		}
+		// A fresh shortest path validates both ways.
+		if ValidatePath(topo, path) != nil || !PathStillValid(topo, path) {
+			t.Fatalf("trial %d: fresh shortest path should be valid", trial)
+		}
+		// Rebuild the same nodes at new positions: the agreement between
+		// the full validator and the lean revalidation must persist for
+		// structurally sound paths.
+		moved := randomTopo(t, rng, n, topology.DefaultRange*(1+rng.Float64()*5))
+		lean := PathStillValid(moved, path)
+		full := ValidatePath(moved, path) == nil
+		if lean != full {
+			t.Fatalf("trial %d: PathStillValid=%v but ValidatePath says %v", trial, lean, full)
+		}
+	}
+}
+
+func TestPathStillValidRejectsShort(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	topo := randomTopo(t, rng, 4, 400)
+	if PathStillValid(topo, nil) || PathStillValid(topo, []topology.NodeID{0}) {
+		t.Fatal("degenerate paths must be invalid")
+	}
+}
+
+func TestBuildTableMatchesPerQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	topo := randomTopo(t, rng, 30, 1100)
+	tbl := BuildTable(topo)
+	n := topo.NumNodes()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			want, wantErr := ShortestPath(topo, topology.NodeID(s), topology.NodeID(d))
+			got, err := tbl.Route(topology.NodeID(s), topology.NodeID(d))
+			if (err == nil) != (wantErr == nil) {
+				t.Fatalf("route %d->%d: table err %v, query err %v", s, d, err, wantErr)
+			}
+			if err == nil && !reflect.DeepEqual(got, want) {
+				t.Fatalf("route %d->%d: table %v, query %v", s, d, got, want)
+			}
+		}
+	}
+}

@@ -25,6 +25,88 @@ var (
 	ErrBadPath = errors.New("routing: malformed path")
 )
 
+// BFSTree is a reusable single-source shortest-path tree: one Build
+// runs a breadth-first search whose predecessor array then answers any
+// number of destination queries without re-searching. The prev and
+// queue buffers are grow-only, so repeated Builds — the mobility epoch
+// loop, all-pairs table construction — stop allocating after the first.
+// Discovery order (a single FIFO over ascending neighbor lists) is
+// identical to the seed's level-frontier search, so every path it
+// returns is byte-identical to the seed's.
+type BFSTree struct {
+	prev  []topology.NodeID
+	queue []topology.NodeID
+	src   topology.NodeID
+	built bool
+}
+
+// Build runs BFS from src over t, replacing any previous tree.
+func (bt *BFSTree) Build(t *topology.Topology, src topology.NodeID) error {
+	n := t.NumNodes()
+	if int(src) < 0 || int(src) >= n {
+		bt.built = false
+		return fmt.Errorf("%w: bad source %d", ErrNoRoute, src)
+	}
+	if cap(bt.prev) < n {
+		bt.prev = make([]topology.NodeID, n)
+		bt.queue = make([]topology.NodeID, n)
+	} else {
+		bt.prev = bt.prev[:n]
+		bt.queue = bt.queue[:n]
+	}
+	for i := range bt.prev {
+		bt.prev[i] = -1
+	}
+	bt.prev[src] = src
+	bt.queue[0] = src
+	head, tail := 0, 1
+	for head < tail {
+		u := bt.queue[head]
+		head++
+		for _, v := range t.Neighbors(u) {
+			if bt.prev[v] == -1 {
+				bt.prev[v] = u
+				bt.queue[tail] = v
+				tail++
+			}
+		}
+	}
+	bt.src = src
+	bt.built = true
+	return nil
+}
+
+// Source returns the root of the current tree.
+func (bt *BFSTree) Source() topology.NodeID { return bt.src }
+
+// Reached reports whether dst is reachable from the built source.
+func (bt *BFSTree) Reached(dst topology.NodeID) bool {
+	return bt.built && int(dst) >= 0 && int(dst) < len(bt.prev) && bt.prev[dst] != -1
+}
+
+// PathTo returns the minimum-hop path from the built source to dst,
+// inclusive of both endpoints, in a freshly allocated exact-length
+// slice.
+func (bt *BFSTree) PathTo(dst topology.NodeID) ([]topology.NodeID, error) {
+	if !bt.Reached(dst) {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrNoRoute, bt.src, dst)
+	}
+	if dst == bt.src {
+		return []topology.NodeID{bt.src}, nil
+	}
+	hops := 1
+	for at := dst; at != bt.src; at = bt.prev[at] {
+		hops++
+	}
+	path := make([]topology.NodeID, hops)
+	at := dst
+	for i := hops - 1; i >= 0; i-- {
+		path[i] = at
+		at = bt.prev[at]
+	}
+	return path, nil
+}
+
 // ShortestPath returns a minimum-hop path from src to dst, inclusive of
 // both endpoints. Ties are broken toward lower node IDs so that results
 // are deterministic. A src == dst query returns the single-node path.
@@ -36,37 +118,14 @@ func ShortestPath(t *topology.Topology, src, dst topology.NodeID) ([]topology.No
 	if src == dst {
 		return []topology.NodeID{src}, nil
 	}
-	prev := make([]topology.NodeID, n)
-	for i := range prev {
-		prev[i] = -1
+	var bt BFSTree
+	if err := bt.Build(t, src); err != nil {
+		return nil, err
 	}
-	prev[src] = src
-	frontier := []topology.NodeID{src}
-	for len(frontier) > 0 && prev[dst] == -1 {
-		var next []topology.NodeID
-		for _, u := range frontier {
-			for _, v := range t.Neighbors(u) {
-				if prev[v] == -1 {
-					prev[v] = u
-					next = append(next, v)
-				}
-			}
-		}
-		frontier = next
-	}
-	if prev[dst] == -1 {
+	if !bt.Reached(dst) {
 		return nil, fmt.Errorf("%w: %s -> %s", ErrNoRoute, t.Name(src), t.Name(dst))
 	}
-	var rev []topology.NodeID
-	for at := dst; at != src; at = prev[at] {
-		rev = append(rev, at)
-	}
-	rev = append(rev, src)
-	path := make([]topology.NodeID, len(rev))
-	for i := range rev {
-		path[i] = rev[len(rev)-1-i]
-	}
-	return path, nil
+	return bt.PathTo(dst)
 }
 
 // Table holds precomputed routes between every pair of nodes, the
@@ -80,40 +139,22 @@ type Table struct {
 func BuildTable(t *topology.Topology) *Table {
 	tbl := &Table{paths: make(map[[2]topology.NodeID][]topology.NodeID)}
 	n := t.NumNodes()
+	var bt BFSTree
 	for s := 0; s < n; s++ {
-		// One BFS per source covers all destinations.
-		prev := make([]topology.NodeID, n)
-		for i := range prev {
-			prev[i] = -1
-		}
+		// One BFS per source covers all destinations; the tree's
+		// buffers are reused across sources.
 		src := topology.NodeID(s)
-		prev[src] = src
-		frontier := []topology.NodeID{src}
-		for len(frontier) > 0 {
-			var next []topology.NodeID
-			for _, u := range frontier {
-				for _, v := range t.Neighbors(u) {
-					if prev[v] == -1 {
-						prev[v] = u
-						next = append(next, v)
-					}
-				}
-			}
-			frontier = next
+		if err := bt.Build(t, src); err != nil {
+			continue
 		}
 		for d := 0; d < n; d++ {
 			dst := topology.NodeID(d)
-			if dst == src || prev[dst] == -1 {
+			if dst == src || !bt.Reached(dst) {
 				continue
 			}
-			var rev []topology.NodeID
-			for at := dst; at != src; at = prev[at] {
-				rev = append(rev, at)
-			}
-			rev = append(rev, src)
-			path := make([]topology.NodeID, len(rev))
-			for i := range rev {
-				path[i] = rev[len(rev)-1-i]
+			path, err := bt.PathTo(dst)
+			if err != nil {
+				continue
 			}
 			tbl.paths[[2]topology.NodeID{src, dst}] = path
 		}
@@ -170,6 +211,32 @@ func ValidatePath(t *topology.Topology, path []topology.NodeID) error {
 		}
 	}
 	return nil
+}
+
+// PathStillValid reports whether a previously validated path remains a
+// usable shortcut-free route on t: every hop still a radio link and no
+// two non-adjacent path nodes within transmission range. It is the
+// allocation-free revalidation the mobility epoch loop runs on kept
+// routes; unlike ValidatePath it assumes structural soundness (length,
+// node IDs, no repeats) from the path's first validation, checking only
+// the predicates that node movement can change.
+func PathStillValid(t *topology.Topology, path []topology.NodeID) bool {
+	if len(path) < 2 {
+		return false
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !t.InTxRange(path[i], path[i+1]) {
+			return false
+		}
+	}
+	for i := 0; i < len(path); i++ {
+		for j := i + 2; j < len(path); j++ {
+			if t.InTxRange(path[i], path[j]) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // HasShortcut reports whether the path violates the no-shortcut

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"e2efair/internal/geom"
@@ -40,11 +41,17 @@ type Node struct {
 // Topology is an immutable-after-build set of nodes plus the radio
 // parameters that induce its connectivity graph.
 type Topology struct {
-	nodes     []Node
-	byName    map[string]NodeID
-	txRange   float64
-	infRange  float64
-	neighbors [][]NodeID // adjacency within txRange, sorted
+	nodes    []Node
+	byName   map[string]NodeID
+	txRange  float64
+	infRange float64
+	pts      []geom.Point // position mirror of nodes, grid- and query-friendly
+	grid     *geom.Grid   // spatial index (cell = infRange); nil for Snapshotter builds
+	// neighbors holds the adjacency within txRange, each row sorted
+	// ascending. Rows are views into one flat arena.
+	neighbors [][]NodeID
+	nbrArena  []NodeID
+	adjFP     uint64 // FNV-1a fingerprint of the adjacency lists
 }
 
 // Builder incrementally assembles a Topology.
@@ -93,7 +100,12 @@ func (b *Builder) Add(name string, x, y float64) *Builder {
 	return b
 }
 
-// Build finalizes the topology, computing the connectivity graph.
+// Build finalizes the topology, computing the connectivity graph. The
+// neighbor lists are computed through a uniform spatial grid (cell size
+// = interference range) in O(n·k) rather than the seed's O(n²)
+// all-pairs scan; the resulting sorted lists are byte-identical to the
+// all-pairs build, which is retained as neighborsNaive and pinned by
+// the randomized cross-check tests.
 func (b *Builder) Build() (*Topology, error) {
 	if b.err != nil {
 		return nil, b.err
@@ -108,19 +120,95 @@ func (b *Builder) Build() (*Topology, error) {
 	for k, v := range b.byName {
 		t.byName[k] = v
 	}
-	t.neighbors = make([][]NodeID, len(t.nodes))
+	t.pts = make([]geom.Point, len(t.nodes))
+	for i := range t.nodes {
+		t.pts[i] = t.nodes[i].Pos
+	}
+	t.grid = geom.NewGrid()
+	t.grid.Rebuild(t.pts, t.infRange)
+	t.buildNeighborsGrid(t.grid, nil)
+	return t, nil
+}
+
+// buildNeighborsGrid fills t.neighbors from a grid already indexing
+// t.pts: one radius-txRange probe per node, self excluded, each row
+// sorted ascending into a flat arena. It also computes the adjacency
+// fingerprint. The scratch slice is returned for reuse across builds.
+func (t *Topology) buildNeighborsGrid(g *geom.Grid, scratch []int32) []int32 {
+	n := len(t.nodes)
+	t.neighbors = make([][]NodeID, n)
+	offs := make([]int32, n+1)
+	var flat []NodeID
+	for i := 0; i < n; i++ {
+		scratch = g.AppendWithin(t.pts[i], t.txRange, scratch[:0])
+		start := len(flat)
+		for _, j := range scratch {
+			if int(j) != i {
+				flat = append(flat, NodeID(j))
+			}
+		}
+		slices.Sort(flat[start:])
+		offs[i+1] = int32(len(flat))
+	}
+	t.nbrArena = flat
+	h := uint64(fnvOffset)
+	for i := 0; i < n; i++ {
+		row := flat[offs[i]:offs[i+1]:offs[i+1]]
+		t.neighbors[i] = row
+		h = (h ^ uint64(len(row))) * fnvPrime
+		for _, id := range row {
+			h = (h ^ uint64(id)) * fnvPrime
+		}
+	}
+	t.adjFP = h
+	return scratch
+}
+
+// neighborsNaive recomputes the adjacency lists with the seed's
+// all-pairs scan. It is retained as the reference oracle for the
+// grid-backed build — pinned by TestBuildMatchesNaiveReference — and as
+// the baseline the BenchmarkTopologyBuild* comparisons time.
+func (t *Topology) neighborsNaive() [][]NodeID {
+	out := make([][]NodeID, len(t.nodes))
 	for i := range t.nodes {
 		for j := range t.nodes {
 			if i == j {
 				continue
 			}
 			if t.nodes[i].Pos.InRange(t.nodes[j].Pos, t.txRange) {
-				t.neighbors[i] = append(t.neighbors[i], NodeID(j))
+				out[i] = append(out[i], NodeID(j))
 			}
 		}
-		sort.Slice(t.neighbors[i], func(a, c int) bool { return t.neighbors[i][a] < t.neighbors[i][c] })
+		sort.Slice(out[i], func(a, c int) bool { return out[i][a] < out[i][c] })
 	}
-	return t, nil
+	return out
+}
+
+// FNV-1a constants for the adjacency fingerprint.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// AdjacencyFingerprint returns a hash of the transmission-range
+// adjacency lists. Equal adjacency implies equal fingerprints; callers
+// that key caches on it must confirm hits with EqualAdjacency.
+func (t *Topology) AdjacencyFingerprint() uint64 { return t.adjFP }
+
+// EqualAdjacency reports whether t and o have identical node counts and
+// transmission-range neighbor lists. Two topologies with equal
+// adjacency are interchangeable for every range predicate the
+// simulator consults when their tx and interference ranges coincide.
+func (t *Topology) EqualAdjacency(o *Topology) bool {
+	if o == nil || len(t.neighbors) != len(o.neighbors) || t.adjFP != o.adjFP {
+		return false
+	}
+	for i := range t.neighbors {
+		if !slices.Equal(t.neighbors[i], o.neighbors[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // NumNodes returns the number of nodes in the topology.
@@ -180,6 +268,31 @@ func (t *Topology) Neighbors(id NodeID) []NodeID {
 		return nil
 	}
 	return t.neighbors[id]
+}
+
+// NodesInRange returns the IDs of every node within radius r of point
+// p (boundary inclusive), in ascending ID order. Builder-built
+// topologies answer from the spatial grid; Snapshotter builds fall
+// back to a linear scan.
+func (t *Topology) NodesInRange(p geom.Point, r float64) []NodeID {
+	return t.AppendNodesInRange(p, r, nil)
+}
+
+// AppendNodesInRange appends the IDs of every node within radius r of
+// p to dst in ascending ID order and returns the extended slice.
+func (t *Topology) AppendNodesInRange(p geom.Point, r float64, dst []NodeID) []NodeID {
+	start := len(dst)
+	if t.grid != nil {
+		t.grid.VisitWithin(p, r, func(i int) { dst = append(dst, NodeID(i)) })
+	} else {
+		for i := range t.pts {
+			if p.InRange(t.pts[i], r) {
+				dst = append(dst, NodeID(i))
+			}
+		}
+	}
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // InTxRange reports whether nodes a and b can decode each other's
@@ -248,7 +361,6 @@ func Random(cfg RandomConfig, rng *rand.Rand) (*Topology, error) {
 	if !cfg.Connect {
 		tries = 1
 	}
-	var last *Topology
 	for attempt := 0; attempt < tries; attempt++ {
 		b := NewBuilder(cfg.TxRange, cfg.InfRange)
 		for i := 0; i < cfg.Nodes; i++ {
@@ -258,10 +370,9 @@ func Random(cfg RandomConfig, rng *rand.Rand) (*Topology, error) {
 		if err != nil {
 			return nil, err
 		}
-		last = t
 		if !cfg.Connect || t.Connected() {
 			return t, nil
 		}
 	}
-	return last, errors.New("topology: could not generate a connected placement")
+	return nil, errors.New("topology: could not generate a connected placement")
 }
