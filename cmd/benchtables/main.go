@@ -32,6 +32,7 @@ import (
 
 	"e2efair/internal/contention"
 	"e2efair/internal/core"
+	"e2efair/internal/fault"
 	"e2efair/internal/flow"
 	"e2efair/internal/geom"
 	"e2efair/internal/lp"
@@ -77,7 +78,7 @@ func (s *Section) add(label string, values map[string]float64) {
 func main() {
 	duration := flag.Float64("duration", 200, "simulated seconds for Tables II/III (paper: 1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp, mac, topo")
+	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp, mac, topo, resilience")
 	jsonPath := flag.String("json", "", "write machine-readable metrics and wall-clock timings to this file")
 	flag.Parse()
 	if err := run(*duration, *seed, *only, *jsonPath); err != nil {
@@ -95,7 +96,7 @@ func run(durationSec float64, seed int64, only, jsonPath string) error {
 		{"fig6", fig6}, {"tableI", tableI}, {"tableII", tableII}, {"tableIII", tableIII},
 		{"ideal", ideal}, {"transport", reliableTransport}, {"random", randomSweep},
 		{"mobility", mobilitySection}, {"lp", lpSection}, {"mac", macSection},
-		{"topo", topoSection},
+		{"topo", topoSection}, {"resilience", resilienceSection},
 	}
 	report := &Report{DurationSec: durationSec, Seed: seed}
 	start := time.Now()
@@ -605,11 +606,15 @@ func lpSection(_ float64, _ int64, sec *Section) error {
 	if err != nil {
 		return err
 	}
+	var allocErr error
 	coldAllocs := testing.AllocsPerRun(200, func() {
 		if err := s.SolveInto(p, &sol); err != nil {
-			panic(err)
+			allocErr = err
 		}
 	})
+	if allocErr != nil {
+		return allocErr
+	}
 	sec.add("solveCold", map[string]float64{"nsPerOp": coldNs, "allocsPerOp": coldAllocs})
 	fmt.Printf("cold solve (reusable Solver):    %10.0f ns/op  %6.1f allocs/op\n", coldNs, coldAllocs)
 
@@ -619,9 +624,12 @@ func lpSection(_ float64, _ int64, sec *Section) error {
 	}
 	refAllocs := testing.AllocsPerRun(200, func() {
 		if _, err := lp.Solve(p); err != nil {
-			panic(err)
+			allocErr = err
 		}
 	})
+	if allocErr != nil {
+		return allocErr
+	}
 	sec.add("solveReference", map[string]float64{"nsPerOp": refNs, "allocsPerOp": refAllocs})
 	fmt.Printf("cold solve (seed reference):     %10.0f ns/op  %6.1f allocs/op\n", refNs, refAllocs)
 
@@ -651,9 +659,12 @@ func lpSection(_ float64, _ int64, sec *Section) error {
 	}
 	warmAllocs := testing.AllocsPerRun(200, func() {
 		if err := warm(); err != nil {
-			panic(err)
+			allocErr = err
 		}
 	})
+	if allocErr != nil {
+		return allocErr
+	}
 	sec.add("warmResolve", map[string]float64{"nsPerOp": warmNs, "allocsPerOp": warmAllocs})
 	fmt.Printf("warm-started re-solve:           %10.0f ns/op  %6.1f allocs/op\n", warmNs, warmAllocs)
 
@@ -912,6 +923,100 @@ func topoSection(_ float64, seed int64, sec *Section) error {
 		"incrementalMsPerEpoch": incEpochNs / epochs / 1e6,
 		"rebuildMsPerEpoch":     rebEpochNs / epochs / 1e6,
 		"speedup":               rebEpochNs / incEpochNs,
+	})
+	return nil
+}
+
+// resilienceSection exercises the fault-injection layer end to end: a
+// lossy-channel sweep over the Fig. 6 scenario under 2PA-C, then a
+// mid-run link cut on a diamond detour topology showing RERR-style
+// repair, salvage and share reallocation, all with the invariant
+// watchdog on.
+func resilienceSection(durationSec float64, seed int64, sec *Section) error {
+	fmt.Println("== Resilience: lossy channels & link-cut recovery ==")
+	dur := sim.Time(durationSec * float64(sim.Second))
+
+	sc, err := scenario.Figure6()
+	if err != nil {
+		return err
+	}
+	for _, rate := range []float64{0, 0.01, 0.05} {
+		cfg := netsim.Config{
+			Protocol: netsim.Protocol2PAC, Duration: dur, Seed: seed, Watchdog: true,
+		}
+		if rate > 0 {
+			cfg.Fault = &fault.Plan{Seed: seed, DefaultLoss: rate}
+		}
+		r, err := netsim.Run(sc.Inst, cfg)
+		if err != nil {
+			return err
+		}
+		rep := r.Resilience
+		fmt.Printf("fig6 2PA-C loss=%-4.2f  delivered %6d  corrupt %6d  retryDrop %5d  queueDrop %5d  violations %d\n",
+			rate, rep.Delivered, rep.CorruptFrames, rep.RetryDrops, rep.QueueDrops, len(rep.Violations))
+		sec.add(fmt.Sprintf("fig6-loss-%g", rate), map[string]float64{
+			"lossRate":       rate,
+			"delivered":      float64(rep.Delivered),
+			"corruptFrames":  float64(rep.CorruptFrames),
+			"injectedLosses": float64(rep.InjectedLosses),
+			"retryDrops":     float64(rep.RetryDrops),
+			"queueDrops":     float64(rep.QueueDrops),
+			"violations":     float64(len(rep.Violations)),
+		})
+	}
+
+	// Mid-run link cut: a diamond A-B-C with detour A-D-C. The primary
+	// route uses the cut link, so delivery depends on the full repair
+	// pipeline (link-dead detection, RERR back-propagation, reroute,
+	// salvage, reallocation).
+	topo, err := topology.NewBuilder(topology.DefaultRange, 0).
+		Add("A", 0, 0).Add("B", 200, 0).Add("C", 400, 0).Add("D", 200, 140).
+		Build()
+	if err != nil {
+		return err
+	}
+	f, err := flow.New("F1", 1, []topology.NodeID{0, 1, 2})
+	if err != nil {
+		return err
+	}
+	set, err := flow.NewSet(f)
+	if err != nil {
+		return err
+	}
+	inst, err := core.NewInstance(topo, set)
+	if err != nil {
+		return err
+	}
+	// Cut the second hop so the RERR notification has one hop to
+	// travel back: MTTR then shows the propagation delay.
+	plan := &fault.Plan{
+		Seed:       seed,
+		LinkFaults: []fault.LinkFault{{A: 1, B: 2, Down: dur / 2}},
+	}
+	r, err := netsim.Run(inst, netsim.Config{
+		Protocol: netsim.Protocol2PAC, Duration: dur, Seed: seed,
+		PacketsPerS: 100, Fault: plan, Watchdog: true,
+	})
+	if err != nil {
+		return err
+	}
+	rep := r.Resilience
+	fmt.Printf("diamond link-cut at t=%.1fs: delivered %d/%d  reroutes %d  salvaged %d  reallocs %d (degraded %d)  MTTR %.0f µs  violations %d\n",
+		(dur / 2).Seconds(), rep.Delivered, rep.Injected, rep.Reroutes,
+		rep.Salvaged, rep.Reallocations, rep.DegradedAllocs,
+		rep.MeanTimeToRepair().Seconds()*1e6, len(rep.Violations))
+	sec.add("diamond-linkcut", map[string]float64{
+		"delivered":      float64(rep.Delivered),
+		"injected":       float64(rep.Injected),
+		"reroutes":       float64(rep.Reroutes),
+		"routeErrors":    float64(rep.RouteErrors),
+		"salvaged":       float64(rep.Salvaged),
+		"retryDrops":     float64(rep.RetryDrops),
+		"noRouteDrops":   float64(rep.NoRouteDrops),
+		"reallocations":  float64(rep.Reallocations),
+		"degradedAllocs": float64(rep.DegradedAllocs),
+		"mttrUs":         rep.MeanTimeToRepair().Seconds() * 1e6,
+		"violations":     float64(len(rep.Violations)),
 	})
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 
 	"e2efair/internal/mac"
 	"e2efair/internal/phy"
+	"e2efair/internal/routing"
 	"e2efair/internal/sim"
 	"e2efair/internal/topology"
 )
@@ -33,7 +34,24 @@ var (
 	ErrTimeout = errors.New("dsr: route discovery timed out")
 	// ErrNoPairs is returned for an empty discovery request.
 	ErrNoPairs = errors.New("dsr: no source/destination pairs")
+	// ErrNoRoute is the sentinel every NoRouteError unwraps to.
+	ErrNoRoute = errors.New("dsr: no route")
 )
+
+// NoRouteError reports pairs for which no route can exist: the
+// destination is not reachable from the source in the connectivity
+// graph, so flooding would only time out. It unwraps to ErrNoRoute.
+type NoRouteError struct {
+	// Pairs lists the unreachable (src, dst) pairs in request order.
+	Pairs [][2]topology.NodeID
+}
+
+func (e *NoRouteError) Error() string {
+	return fmt.Sprintf("dsr: no route exists for %d pair(s): %v", len(e.Pairs), e.Pairs)
+}
+
+// Unwrap makes errors.Is(err, ErrNoRoute) work.
+func (e *NoRouteError) Unwrap() error { return ErrNoRoute }
 
 // message is the DSR payload carried in mac.Packet.Meta.
 type message struct {
@@ -147,6 +165,25 @@ func compressRoute(topo *topology.Topology, route []topology.NodeID) []topology.
 func Discover(topo *topology.Topology, pairs [][2]topology.NodeID, cfg Config) (*Result, error) {
 	if len(pairs) == 0 {
 		return nil, ErrNoPairs
+	}
+	// Reachability precheck: flooding for a partitioned pair can only
+	// time out, so report those pairs up front as a typed error.
+	var bt routing.BFSTree
+	var unreachable [][2]topology.NodeID
+	lastSrc := topology.NodeID(-1)
+	for _, p := range pairs {
+		if p[0] != lastSrc {
+			if err := bt.Build(topo, p[0]); err != nil {
+				return nil, err
+			}
+			lastSrc = p[0]
+		}
+		if !bt.Reached(p[1]) {
+			unreachable = append(unreachable, p)
+		}
+	}
+	if len(unreachable) > 0 {
+		return nil, &NoRouteError{Pairs: unreachable}
 	}
 	cfg = cfg.withDefaults()
 	e := &engine{

@@ -67,8 +67,35 @@ func TestDiscoverUnreachable(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = dsr.Discover(topo, [][2]topology.NodeID{{0, 1}}, dsr.Config{Seed: 1, Timeout: 500000})
-	if !errors.Is(err, dsr.ErrTimeout) {
-		t.Errorf("err = %v, want timeout", err)
+	if !errors.Is(err, dsr.ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+	var nre *dsr.NoRouteError
+	if !errors.As(err, &nre) {
+		t.Fatalf("err = %T, want *NoRouteError", err)
+	}
+	if len(nre.Pairs) != 1 || nre.Pairs[0] != ([2]topology.NodeID{0, 1}) {
+		t.Errorf("unreachable pairs = %v", nre.Pairs)
+	}
+}
+
+func TestDiscoverMixedReachability(t *testing.T) {
+	// Two connected islands: in-island pairs resolve, the cross-island
+	// pair is reported as unreachable before any flooding runs.
+	b := topology.NewBuilder(250, 0)
+	b.Add("A", 0, 0).Add("B", 200, 0).Add("C", 5000, 0).Add("D", 5200, 0)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]topology.NodeID{{0, 1}, {0, 3}, {2, 3}}
+	_, err = dsr.Discover(topo, pairs, dsr.Config{Seed: 1})
+	var nre *dsr.NoRouteError
+	if !errors.As(err, &nre) {
+		t.Fatalf("err = %v, want *NoRouteError", err)
+	}
+	if len(nre.Pairs) != 1 || nre.Pairs[0] != ([2]topology.NodeID{0, 3}) {
+		t.Errorf("unreachable pairs = %v", nre.Pairs)
 	}
 }
 

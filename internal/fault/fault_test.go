@@ -1,0 +1,263 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"e2efair/internal/sim"
+	"e2efair/internal/topology"
+)
+
+const planText = `
+# example plan
+seed 42
+loss * 0.02
+loss 2 3 0.25
+node 4 down 10s up 20s
+node 5 down 10s
+link 1 2 down 5s up 8s
+link 0 3 down 5ms
+`
+
+func TestParse(t *testing.T) {
+	p, err := Parse([]byte(planText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Plan{
+		Seed:        42,
+		DefaultLoss: 0.02,
+		LinkLoss:    []LinkLoss{{A: 2, B: 3, Rate: 0.25}},
+		NodeFaults: []NodeFault{
+			{Node: 4, Down: 10 * sim.Second, Up: 20 * sim.Second},
+			{Node: 5, Down: 10 * sim.Second},
+		},
+		LinkFaults: []LinkFault{
+			{A: 1, B: 2, Down: 5 * sim.Second, Up: 8 * sim.Second},
+			{A: 0, B: 3, Down: 5 * sim.Millisecond},
+		},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("parsed plan = %+v, want %+v", p, want)
+	}
+}
+
+func TestParseFormatRoundtrip(t *testing.T) {
+	p, err := Parse([]byte(planText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(p.Format())
+	if err != nil {
+		t.Fatalf("reparse: %v\nformatted:\n%s", err, p.Format())
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Errorf("roundtrip changed the plan:\n%+v\n%+v", p, p2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus directive",
+		"seed",
+		"seed x",
+		"loss 1 0.5",
+		"loss * 1.5",
+		"loss 1 2 nan",
+		"loss a b 0.5",
+		"node 1 up 5s",
+		"node 1 down",
+		"node 1 down 5s up",
+		"link 1 down 5s",
+		"link 1 2 down -5s",
+		"node 1 down 99999999999999999999s",
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c)); !errors.Is(err, ErrParse) {
+			t.Errorf("Parse(%q) err = %v, want ErrParse", c, err)
+		}
+	}
+	// Errors carry the offending line number.
+	_, err := Parse([]byte("seed 1\nbogus\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line 2", err)
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"node out of range", Plan{NodeFaults: []NodeFault{{Node: 8, Down: 1}}}},
+		{"link endpoint out of range", Plan{LinkFaults: []LinkFault{{A: 0, B: 8, Down: 1}}}},
+		{"loss node out of range", Plan{LinkLoss: []LinkLoss{{A: 0, B: 8, Rate: 0.5}}}},
+		{"self link loss", Plan{LinkLoss: []LinkLoss{{A: 1, B: 1, Rate: 0.5}}}},
+		{"self link fault", Plan{LinkFaults: []LinkFault{{A: 1, B: 1, Down: 1}}}},
+		{"rate above one", Plan{LinkLoss: []LinkLoss{{A: 0, B: 1, Rate: 1.5}}}},
+		{"default loss above one", Plan{DefaultLoss: 2}},
+		{"up before down", Plan{NodeFaults: []NodeFault{{Node: 1, Down: 10, Up: 5}}}},
+		{"link up before down", Plan{LinkFaults: []LinkFault{{A: 0, B: 1, Down: 10, Up: 5}}}},
+	}
+	for _, c := range cases {
+		if _, err := c.plan.Compile(8); !errors.Is(err, ErrBadPlan) {
+			t.Errorf("%s: err = %v, want ErrBadPlan", c.name, err)
+		}
+	}
+	if _, err := (&Plan{}).Compile(0); !errors.Is(err, ErrBadPlan) {
+		t.Error("Compile(0) should fail")
+	}
+	if _, err := (&Plan{}).Compile(4); err != nil {
+		t.Errorf("zero plan should compile: %v", err)
+	}
+}
+
+func TestCorruptedDeterministic(t *testing.T) {
+	plan := &Plan{Seed: 7, DefaultLoss: 0.3, LinkLoss: []LinkLoss{{A: 0, B: 1, Rate: 0.9}}}
+	a, err := plan.Compile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plan.Compile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tx, rx := i%3, (i+1)%3
+		if a.Corrupted(tx, rx, 512) != b.Corrupted(tx, rx, 512) {
+			t.Fatalf("draw %d diverged between identical injectors", i)
+		}
+	}
+	if a.Corruptions() != b.Corruptions() {
+		t.Errorf("corruption counts diverged: %d vs %d", a.Corruptions(), b.Corruptions())
+	}
+	if a.Corruptions() == 0 {
+		t.Error("no corruptions at 30% loss over 1000 draws")
+	}
+}
+
+func TestCorruptedRates(t *testing.T) {
+	// Rate 0 must make no draws (and count nothing); rate 1 corrupts
+	// every frame.
+	in, err := (&Plan{Seed: 1, LinkLoss: []LinkLoss{{A: 0, B: 1, Rate: 1}}}).Compile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !in.Corrupted(0, 1, 512) {
+			t.Fatal("rate-1 link must corrupt every frame")
+		}
+		if in.Corrupted(2, 3, 512) {
+			t.Fatal("unlisted link with zero default loss corrupted a frame")
+		}
+	}
+	if got := in.Corruptions(); got != 100 {
+		t.Errorf("corruptions = %d, want 100", got)
+	}
+	quiet, err := (&Plan{Seed: 1}).Compile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Lossy() {
+		t.Error("plan without loss rates reports Lossy")
+	}
+	if quiet.Corrupted(0, 1, 512) {
+		t.Error("loss-free injector corrupted a frame")
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	plan := &Plan{
+		NodeFaults: []NodeFault{{Node: 2, Down: 10, Up: 30}},
+		LinkFaults: []LinkFault{
+			{A: 0, B: 1, Down: 10, Up: 20},
+			// Overlapping window on the same link: it must stay down
+			// until the last restore.
+			{A: 1, B: 0, Down: 15, Up: 40},
+		},
+	}
+	in, err := plan.Compile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.NodeUp(2) || !in.LinkUp(0, 1) {
+		t.Fatal("everything should start up")
+	}
+	eng := sim.NewEngine()
+	var changes []Change
+	if err := in.Arm(eng, func(c Change) { changes = append(changes, c) }); err != nil {
+		t.Fatal(err)
+	}
+	check := func(at sim.Time, node2, link01 bool) {
+		_ = eng.Schedule(at, 3, func() {
+			if in.NodeUp(2) != node2 {
+				t.Errorf("t=%d: NodeUp(2) = %v, want %v", at, in.NodeUp(2), node2)
+			}
+			if in.LinkUp(0, 1) != link01 {
+				t.Errorf("t=%d: LinkUp(0,1) = %v, want %v", at, in.LinkUp(0, 1), link01)
+			}
+		})
+	}
+	check(5, true, true)
+	check(12, false, false)
+	check(25, false, false) // first link window ended, second still open
+	check(35, true, false)
+	check(45, true, true)
+	eng.Run(100)
+	if len(changes) != 6 {
+		t.Fatalf("got %d changes, want 6", len(changes))
+	}
+	// Transitions fire in time order; the Change mirrors applied state.
+	for i := 1; i < len(changes); i++ {
+		if changes[i].At < changes[i-1].At {
+			t.Errorf("changes out of order: %+v", changes)
+		}
+	}
+	if c := changes[0]; c.Node != 2 || c.Up || c.A != -1 {
+		t.Errorf("first change = %+v, want node 2 down", c)
+	}
+}
+
+func TestNodeUpOutOfRange(t *testing.T) {
+	in, err := (&Plan{}).Compile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NodeUp(-1) || in.NodeUp(4) {
+		t.Error("out-of-range nodes must report down")
+	}
+	if in.NodeUp(topology.NodeID(3)) != true {
+		t.Error("in-range node should be up")
+	}
+}
+
+func FuzzPlanParse(f *testing.F) {
+	f.Add([]byte(planText))
+	f.Add([]byte("seed -3\nloss * 1\n"))
+	f.Add([]byte("node 0 down 0 up 1\nlink 0 1 down 3ms\n# comment"))
+	f.Add([]byte("loss 4294967295 1 0.5"))
+	f.Add([]byte("seed 9223372036854775807\nnode 1 down 9223372036854775807"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Accepted plans must format to a canonical fixed point.
+		f1 := p.Format()
+		p2, err := Parse(f1)
+		if err != nil {
+			t.Fatalf("reparse of formatted plan failed: %v\n%s", err, f1)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("roundtrip changed plan:\n%+v\n%+v", p, p2)
+		}
+		if f2 := p2.Format(); !bytes.Equal(f1, f2) {
+			t.Fatalf("format not a fixed point:\n%s\n%s", f1, f2)
+		}
+		// Compilation must never panic, whatever the plan.
+		_, _ = p.Compile(8)
+	})
+}

@@ -150,3 +150,21 @@ func (d *DFS) CurrentTag() (float64, bool) { return 0, false }
 
 // Backlog implements Scheduler.
 func (d *DFS) Backlog() int { return d.queue.len() }
+
+// SetShare updates a registered subflow's weight at runtime,
+// supporting online reallocation after route repair.
+func (d *DFS) SetShare(id flow.SubflowID, share float64) error {
+	if _, ok := d.shares[id]; !ok {
+		return fmt.Errorf("mac: subflow %s not registered", id)
+	}
+	if share < minShare {
+		share = minShare
+	}
+	d.shares[id] = share
+	return nil
+}
+
+// Drain implements Drainer.
+func (d *DFS) Drain(match func(*Packet) bool, out func(*Packet)) int {
+	return d.queue.filter(match, out)
+}

@@ -1,0 +1,426 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+
+	"e2efair/internal/flow"
+	"e2efair/internal/phy"
+	"e2efair/internal/sim"
+	"e2efair/internal/topology"
+)
+
+// stubLink is a mutable LinkState for fault-path tests.
+type stubLink struct {
+	nodeDown map[topology.NodeID]bool
+	linkDown map[[2]topology.NodeID]bool
+}
+
+func newStubLink() *stubLink {
+	return &stubLink{
+		nodeDown: make(map[topology.NodeID]bool),
+		linkDown: make(map[[2]topology.NodeID]bool),
+	}
+}
+
+func (s *stubLink) NodeUp(n topology.NodeID) bool { return !s.nodeDown[n] }
+
+func (s *stubLink) LinkUp(a, b topology.NodeID) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return !s.linkDown[[2]topology.NodeID{a, b}]
+}
+
+// countLoss corrupts the first n exchanges, then goes clean.
+type countLoss struct{ remaining int }
+
+func (l *countLoss) Corrupted(_, _, _ int) bool {
+	if l.remaining > 0 {
+		l.remaining--
+		return true
+	}
+	return false
+}
+
+// alwaysLoss corrupts every exchange.
+type alwaysLoss struct{ hits int }
+
+func (l *alwaysLoss) Corrupted(_, _, _ int) bool { l.hits++; return true }
+
+// faultRig extends the basic rig with fault-path hooks.
+type faultRig struct {
+	*rig
+	corrupt  int
+	linkDead [][2]topology.NodeID
+}
+
+func newFaultRig(t *testing.T, link LinkState, cfg Config, build func(b *topology.Builder)) *faultRig {
+	t.Helper()
+	b := topology.NewBuilder(topology.DefaultRange, 0)
+	build(b)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{t: t, eng: sim.NewEngine(), topo: topo, delivered: make(map[flow.SubflowID]int)}
+	fr := &faultRig{rig: r}
+	hooks := Hooks{
+		OnDelivered: func(p *Packet, _ sim.Time) {
+			r.delivered[p.SubflowID()]++
+			if !p.LastHop() {
+				p.Hop++
+				if _, err := r.medium.Inject(p); err != nil {
+					t.Fatalf("forward: %v", err)
+				}
+			}
+		},
+		OnRetryDrop: func(_ *Packet, _ sim.Time) { r.retryDrop++ },
+		OnCollision: func(_ topology.NodeID, _ sim.Time) { r.collision++ },
+		OnCorrupt:   func(_ *Packet, _ topology.NodeID, _ sim.Time) { fr.corrupt++ },
+		OnLinkDead: func(tx, rx topology.NodeID, _ sim.Time) {
+			fr.linkDead = append(fr.linkDead, [2]topology.NodeID{tx, rx})
+		},
+	}
+	cfg.Link = link
+	m, err := NewMedium(r.eng, topo, rand.New(rand.NewSource(1)), cfg, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.medium = m
+	return fr
+}
+
+func twoNodes(b *topology.Builder) { b.Add("A", 0, 0).Add("B", 200, 0) }
+
+func TestCorruptExchangeRetries(t *testing.T) {
+	// Two corrupted exchanges, then a clean one: the packet must
+	// survive the retries and arrive.
+	fr := newFaultRig(t, nil, Config{}, twoNodes)
+	fr.fifoAll()
+	fr.medium.Channel().SetLossModel(&countLoss{remaining: 2})
+	fr.saturate("F1", []topology.NodeID{0, 1}, 1)
+	fr.eng.Run(sim.Second)
+	if fr.corrupt != 2 {
+		t.Errorf("corrupt = %d, want 2", fr.corrupt)
+	}
+	if got := fr.delivered[flow.SubflowID{Flow: "F1", Hop: 0}]; got != 1 {
+		t.Errorf("delivered = %d, want 1", got)
+	}
+	if fr.retryDrop != 0 {
+		t.Errorf("retryDrop = %d, want 0", fr.retryDrop)
+	}
+}
+
+func TestCorruptExchangeExhaustsRetries(t *testing.T) {
+	// A fully corrupted channel: every exchange dies, the retry limit
+	// trips, and the packet is dropped.
+	loss := &alwaysLoss{}
+	fr := newFaultRig(t, nil, Config{RetryLimit: 3}, twoNodes)
+	fr.fifoAll()
+	fr.medium.Channel().SetLossModel(loss)
+	fr.saturate("F1", []topology.NodeID{0, 1}, 1)
+	fr.eng.Run(sim.Second)
+	if fr.retryDrop != 1 {
+		t.Errorf("retryDrop = %d, want 1", fr.retryDrop)
+	}
+	// retries go 1..RetryLimit+1 before the drop: one corruption each.
+	if fr.corrupt != 4 {
+		t.Errorf("corrupt = %d, want 4", fr.corrupt)
+	}
+	if len(fr.delivered) != 0 {
+		t.Errorf("delivered = %v, want none", fr.delivered)
+	}
+	// Without a LinkState there is no escalation.
+	if len(fr.linkDead) != 0 {
+		t.Errorf("linkDead = %v, want none", fr.linkDead)
+	}
+}
+
+func TestLinkDeadEscalation(t *testing.T) {
+	// With a LinkState installed, consecutive retry-exhaustion drops
+	// toward the same receiver escalate to OnLinkDead after
+	// DeadAfterDrops drops.
+	fr := newFaultRig(t, newStubLink(), Config{RetryLimit: 2, DeadAfterDrops: 2}, twoNodes)
+	fr.fifoAll()
+	fr.medium.Channel().SetLossModel(&alwaysLoss{})
+	fr.saturate("F1", []topology.NodeID{0, 1}, 5)
+	fr.eng.Run(sim.Second)
+	if fr.retryDrop < 2 {
+		t.Fatalf("retryDrop = %d, want >= 2", fr.retryDrop)
+	}
+	if len(fr.linkDead) == 0 {
+		t.Fatal("no link-dead signal after persistent drops")
+	}
+	if fr.linkDead[0] != ([2]topology.NodeID{0, 1}) {
+		t.Errorf("linkDead[0] = %v, want [0 1]", fr.linkDead[0])
+	}
+}
+
+func TestLinkDeadImmediateOnGatedLink(t *testing.T) {
+	// When the fault gate already reports the link down, the first
+	// retry-exhaustion drop escalates immediately.
+	link := newStubLink()
+	link.linkDown[[2]topology.NodeID{0, 1}] = true
+	fr := newFaultRig(t, link, Config{RetryLimit: 2}, twoNodes)
+	fr.fifoAll()
+	fr.saturate("F1", []topology.NodeID{0, 1}, 1)
+	fr.eng.Run(sim.Second)
+	if fr.retryDrop != 1 {
+		t.Errorf("retryDrop = %d, want 1", fr.retryDrop)
+	}
+	if len(fr.linkDead) != 1 {
+		t.Fatalf("linkDead = %v, want one signal", fr.linkDead)
+	}
+	if len(fr.delivered) != 0 {
+		t.Errorf("delivered over a downed link: %v", fr.delivered)
+	}
+}
+
+func TestCrashedNodeHoldsBacklogUntilRecovery(t *testing.T) {
+	link := newStubLink()
+	link.nodeDown[0] = true
+	fr := newFaultRig(t, link, Config{}, twoNodes)
+	fr.fifoAll()
+	fr.saturate("F1", []topology.NodeID{0, 1}, 3)
+	fr.eng.Run(sim.Second)
+	if len(fr.delivered) != 0 {
+		t.Fatalf("crashed node transmitted: %v", fr.delivered)
+	}
+	if got := fr.medium.SchedulerAt(0).Backlog(); got != 3 {
+		t.Fatalf("backlog = %d, want 3 held packets", got)
+	}
+	// Recovery: flip the stub and nudge the MAC.
+	link.nodeDown[0] = false
+	_ = fr.eng.Schedule(sim.Second, 0, func() { fr.medium.FaultChanged(0) })
+	fr.eng.Run(2 * sim.Second)
+	if got := fr.delivered[flow.SubflowID{Flow: "F1", Hop: 0}]; got != 3 {
+		t.Errorf("delivered after recovery = %d, want 3", got)
+	}
+}
+
+func TestCrashedReceiverFailsAcquisition(t *testing.T) {
+	link := newStubLink()
+	link.nodeDown[1] = true
+	fr := newFaultRig(t, link, Config{RetryLimit: 2}, twoNodes)
+	fr.fifoAll()
+	fr.saturate("F1", []topology.NodeID{0, 1}, 1)
+	fr.eng.Run(sim.Second)
+	if len(fr.delivered) != 0 {
+		t.Errorf("delivered to a crashed receiver: %v", fr.delivered)
+	}
+	if fr.retryDrop != 1 {
+		t.Errorf("retryDrop = %d, want 1", fr.retryDrop)
+	}
+	// Receiver down ⇒ escalate on the first drop.
+	if len(fr.linkDead) != 1 {
+		t.Errorf("linkDead = %v, want one signal", fr.linkDead)
+	}
+}
+
+func TestDrainNode(t *testing.T) {
+	fr := newFaultRig(t, newStubLink(), Config{}, func(b *topology.Builder) {
+		b.Add("A", 0, 0).Add("B", 200, 0).Add("C", 200, 140)
+	})
+	fr.fifoAll()
+	// Five packets toward B, three toward C, interleaved.
+	for i := 0; i < 5; i++ {
+		fr.saturate(flow.ID("B"), []topology.NodeID{0, 1}, 1)
+	}
+	for i := 0; i < 3; i++ {
+		fr.saturate(flow.ID("C"), []topology.NodeID{0, 2}, 1)
+	}
+	var drained []*Packet
+	n := fr.medium.DrainNode(0, func(p *Packet) bool { return p.Receiver() == 1 },
+		func(p *Packet) { drained = append(drained, p) })
+	if n != len(drained) {
+		t.Fatalf("DrainNode returned %d, handed out %d", n, len(drained))
+	}
+	// The first B-packet is the MAC's pending head and must survive.
+	if n != 4 {
+		t.Errorf("drained %d, want 4 (pending head excluded)", n)
+	}
+	for _, p := range drained {
+		if p.Receiver() != 1 {
+			t.Errorf("drained wrong packet %v", p)
+		}
+	}
+	if got := fr.medium.SchedulerAt(0).Backlog(); got != 4 {
+		t.Errorf("backlog = %d, want 4 (1 pending B + 3 C)", got)
+	}
+	// The remaining traffic still flows.
+	fr.eng.Run(sim.Second)
+	if got := fr.delivered[flow.SubflowID{Flow: "C", Hop: 0}]; got != 3 {
+		t.Errorf("C delivered = %d, want 3", got)
+	}
+	if got := fr.delivered[flow.SubflowID{Flow: "B", Hop: 0}]; got != 1 {
+		t.Errorf("B delivered = %d, want 1 (the pending head)", got)
+	}
+}
+
+func TestTagSchedulerDrain(t *testing.T) {
+	ts, err := NewTagScheduler(TagSchedulerConfig{
+		Node: 0, BitsPerMicro: 2, Alpha: DefaultAlpha,
+		CWMin: phy.DefaultCWMin, CWMax: phy.DefaultCWMax, QueueCap: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA := flow.SubflowID{Flow: "A", Hop: 0}
+	idB := flow.SubflowID{Flow: "B", Hop: 0}
+	if err := ts.AddSubflow(idA, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.AddSubflow(idB, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ts.Enqueue(&Packet{Flow: "A", Seq: int64(i), Path: []topology.NodeID{0, 1}, PayloadBytes: 512}, 0)
+		ts.Enqueue(&Packet{Flow: "B", Seq: int64(i), Path: []topology.NodeID{0, 2}, PayloadBytes: 512}, 0)
+	}
+	if ts.Backlog() != 6 {
+		t.Fatalf("backlog = %d", ts.Backlog())
+	}
+	n := ts.Drain(func(p *Packet) bool { return p.Flow == "A" }, func(*Packet) {})
+	if n != 3 {
+		t.Errorf("drained %d, want 3", n)
+	}
+	if ts.Backlog() != 3 {
+		t.Errorf("backlog = %d, want 3", ts.Backlog())
+	}
+	// Head must come from the surviving queue.
+	h := ts.Head(0)
+	if h == nil || h.Flow != "B" {
+		t.Errorf("head = %v, want a B packet", h)
+	}
+}
+
+func TestDFSDrainAndSetShare(t *testing.T) {
+	d, err := NewDFS(DFSConfig{Capacity: 10, BitsPerMicro: 2,
+		CWMin: phy.DefaultCWMin, CWMax: phy.DefaultCWMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := flow.SubflowID{Flow: "A", Hop: 0}
+	if err := d.AddSubflow(id, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetShare(id, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetShare(flow.SubflowID{Flow: "X", Hop: 0}, 0.4); err == nil {
+		t.Error("SetShare on unknown subflow should fail")
+	}
+	for i := 0; i < 4; i++ {
+		d.Enqueue(&Packet{Flow: "A", Seq: int64(i), Path: []topology.NodeID{0, 1}, PayloadBytes: 512}, 0)
+	}
+	n := d.Drain(func(p *Packet) bool { return p.Seq >= 2 }, func(*Packet) {})
+	if n != 2 || d.Backlog() != 2 {
+		t.Errorf("drained %d backlog %d, want 2 and 2", n, d.Backlog())
+	}
+}
+
+func TestTagSchedulerSetShare(t *testing.T) {
+	ts, err := NewTagScheduler(TagSchedulerConfig{
+		Node: 0, BitsPerMicro: 2, Alpha: DefaultAlpha,
+		CWMin: phy.DefaultCWMin, CWMax: phy.DefaultCWMax, QueueCap: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := flow.SubflowID{Flow: "A", Hop: 0}
+	if err := ts.AddSubflow(id, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.SetShare(id, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.SetShare(flow.SubflowID{Flow: "X", Hop: 0}, 0.3); err == nil {
+		t.Error("SetShare on unknown subflow should fail")
+	}
+	if ts.NumQueues() != 1 {
+		t.Errorf("NumQueues = %d, want 1", ts.NumQueues())
+	}
+}
+
+// FuzzLossyExchange drives a two-hop chain through a randomly lossy
+// channel and checks packet conservation: every injected packet is
+// delivered end-to-end, dropped with attribution, or still queued.
+func FuzzLossyExchange(f *testing.F) {
+	f.Add(int64(1), byte(0), byte(5))
+	f.Add(int64(2), byte(128), byte(20))
+	f.Add(int64(3), byte(255), byte(40))
+	f.Add(int64(99), byte(64), byte(1))
+	f.Fuzz(func(t *testing.T, seed int64, rateByte byte, count byte) {
+		if count == 0 {
+			count = 1
+		}
+		b := topology.NewBuilder(topology.DefaultRange, 0)
+		b.Add("A", 0, 0).Add("B", 200, 0).Add("C", 400, 0)
+		topo, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngine()
+		var medium *Medium
+		var delivered, retryDrops, fwdQueueDrops int
+		hooks := Hooks{
+			OnDelivered: func(p *Packet, _ sim.Time) {
+				if p.LastHop() {
+					delivered++
+					return
+				}
+				p.Hop++
+				ok, err := medium.Inject(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					fwdQueueDrops++
+				}
+			},
+			OnRetryDrop: func(_ *Packet, _ sim.Time) { retryDrops++ },
+		}
+		medium, err = NewMedium(eng, topo, rand.New(rand.NewSource(seed)), Config{RetryLimit: 3}, hooks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < topo.NumNodes(); i++ {
+			if err := medium.Attach(topology.NodeID(i), NewFIFO(64, phy.DefaultCWMin, phy.DefaultCWMax)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		loss := &seededLoss{rng: rand.New(rand.NewSource(seed + 1)), rate: float64(rateByte) / 256}
+		medium.Channel().SetLossModel(loss)
+		injected := 0
+		for i := 0; i < int(count); i++ {
+			p := &Packet{Flow: "F1", Seq: int64(i), Path: []topology.NodeID{0, 1, 2}, PayloadBytes: 512}
+			ok, err := medium.Inject(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				injected++
+			}
+		}
+		eng.Run(2 * sim.Second)
+		backlog := medium.Backlog()
+		if injected != delivered+retryDrops+fwdQueueDrops+backlog {
+			t.Fatalf("conservation: injected %d != delivered %d + retry %d + queue %d + backlog %d (rate %.3f)",
+				injected, delivered, retryDrops, fwdQueueDrops, backlog, loss.rate)
+		}
+		if loss.rate == 0 && (retryDrops != 0 || delivered != injected) {
+			t.Fatalf("loss-free run dropped packets: delivered %d of %d", delivered, injected)
+		}
+	})
+}
+
+// seededLoss is an independent Bernoulli loss model for fuzzing.
+type seededLoss struct {
+	rng  *rand.Rand
+	rate float64
+}
+
+func (l *seededLoss) Corrupted(_, _, _ int) bool {
+	return l.rate > 0 && l.rng.Float64() < l.rate
+}

@@ -24,6 +24,23 @@ const (
 // scheduler.
 var ErrNoScheduler = errors.New("mac: node has no scheduler")
 
+// DefaultDeadAfterDrops is the number of consecutive retry-exhaustion
+// drops toward the same receiver after which the MAC declares the link
+// dead instead of retrying forever.
+const DefaultDeadAfterDrops = 2
+
+// LinkState gates the medium on externally injected faults: a crashed
+// node neither transmits nor receives, and a downed link never
+// completes a floor acquisition. The fault injector is the canonical
+// implementation; a nil LinkState is the always-up network.
+type LinkState interface {
+	// NodeUp reports whether the node is currently alive.
+	NodeUp(n topology.NodeID) bool
+	// LinkUp reports whether the (undirected) link a-b is currently
+	// usable, independent of the endpoints' node state.
+	LinkUp(a, b topology.NodeID) bool
+}
+
 // Hooks are the callbacks through which the harness observes MAC
 // outcomes.
 type Hooks struct {
@@ -39,6 +56,13 @@ type Hooks struct {
 	// OnBroadcast fires once per node that successfully receives a
 	// broadcast frame.
 	OnBroadcast func(p *Packet, receiver topology.NodeID, now sim.Time)
+	// OnCorrupt fires when the channel loss model corrupts a unicast
+	// exchange; the packet stays queued and is retried or dropped.
+	OnCorrupt func(p *Packet, rx topology.NodeID, now sim.Time)
+	// OnLinkDead fires when persistent retry exhaustion toward one
+	// receiver escalates to a link-dead verdict — the resilience
+	// layer's cue to salvage the queue and repair routes.
+	OnLinkDead func(tx, rx topology.NodeID, now sim.Time)
 }
 
 // TraceKind classifies trace events.
@@ -51,6 +75,18 @@ const (
 	TraceBroadcast
 	TraceCollision
 	TraceDrop
+	// TraceCorrupt marks an exchange killed by the channel loss model.
+	TraceCorrupt
+	// TraceLinkDead marks the MAC escalating persistent failure toward
+	// one receiver to a link-dead signal.
+	TraceLinkDead
+	// TraceReroute, TraceSalvage and TraceDegraded are emitted by the
+	// resilience layer above the MAC (route repaired, packet salvaged
+	// onto a detour, allocation degraded to basic shares); they share
+	// the MAC trace stream so one tracer sees the whole story.
+	TraceReroute
+	TraceSalvage
+	TraceDegraded
 )
 
 // TraceEvent is one MAC-level occurrence, for ns-2-style tracing.
@@ -73,6 +109,14 @@ type Config struct {
 	RetryLimit int // floor-acquisition attempts before drop; default phy.DefaultRetryLimit
 	// Tracer, when set, receives every MAC-level event.
 	Tracer Tracer
+	// Link gates transmissions on injected node/link faults; nil is
+	// the always-up network (and keeps the datapath byte-identical to
+	// a medium built without fault support).
+	Link LinkState
+	// DeadAfterDrops is the consecutive retry-exhaustion drops toward
+	// one receiver that escalate to OnLinkDead; default
+	// DefaultDeadAfterDrops. Only consulted when Link is set.
+	DeadAfterDrops int
 }
 
 // Medium simulates the shared wireless channel: it tracks carrier
@@ -86,6 +130,11 @@ type Medium struct {
 	rng        *rand.Rand
 	hooks      Hooks
 	retryLimit int
+	// link, when non-nil, switches the medium onto the fault-aware
+	// path; every fault check is guarded on it so the nil case costs
+	// one pointer test and draws no extra randomness.
+	link      LinkState
+	deadAfter int
 
 	nodes  []*nodeMAC
 	tracer Tracer
@@ -152,6 +201,14 @@ type nodeMAC struct {
 	// bcastRx is the receiver scratch of the node's in-flight
 	// broadcast frame (at most one per node).
 	bcastRx []*nodeMAC
+
+	// Fault-path state, untouched while the medium has no LinkState:
+	// exchCorrupt records the loss model's verdict for the in-flight
+	// exchange; dropRx/dropRun track consecutive retry-exhaustion
+	// drops toward one receiver for link-dead escalation.
+	exchCorrupt bool
+	dropRx      topology.NodeID
+	dropRun     int
 }
 
 // NewMedium builds the medium over a topology.
@@ -166,6 +223,9 @@ func NewMedium(eng *sim.Engine, topo *topology.Topology, rng *rand.Rand, cfg Con
 	if cfg.RetryLimit <= 0 {
 		cfg.RetryLimit = phy.DefaultRetryLimit
 	}
+	if cfg.DeadAfterDrops <= 0 {
+		cfg.DeadAfterDrops = DefaultDeadAfterDrops
+	}
 	n := topo.NumNodes()
 	m := &Medium{
 		eng:        eng,
@@ -174,6 +234,8 @@ func NewMedium(eng *sim.Engine, topo *topology.Topology, rng *rand.Rand, cfg Con
 		rng:        rng,
 		hooks:      hooks,
 		retryLimit: cfg.RetryLimit,
+		link:       cfg.Link,
+		deadAfter:  cfg.DeadAfterDrops,
 		tracer:     cfg.Tracer,
 		nodes:      make([]*nodeMAC, n),
 		infBits:    make([]nodeset, n),
@@ -187,7 +249,7 @@ func NewMedium(eng *sim.Engine, topo *topology.Topology, rng *rand.Rand, cfg Con
 	m.resolveFn = m.resolve
 	m.rescanFn = m.processParked
 	for i := 0; i < n; i++ {
-		nd := &nodeMAC{id: topology.NodeID(i)}
+		nd := &nodeMAC{id: topology.NodeID(i), dropRx: -1}
 		nd.attemptFn = func(seq uint64) { m.attempt(nd, seq) }
 		nd.finishFn = func() { m.finishTx(nd) }
 		m.nodes[i] = nd
@@ -212,6 +274,65 @@ func NewMedium(eng *sim.Engine, topo *topology.Topology, rng *rand.Rand, cfg Con
 
 // Channel returns the medium's channel model.
 func (m *Medium) Channel() *phy.Channel { return m.ch }
+
+// SetLinkState installs (or clears) the fault gate after construction,
+// before the engine runs. Harnesses that compile the injector lazily —
+// netsim builds the stack first, then arms faults — use this instead
+// of Config.Link.
+func (m *Medium) SetLinkState(l LinkState) { m.link = l }
+
+// FaultChanged tells the medium that injected fault state affecting a
+// node flipped (crash, recovery, or an incident link transition): the
+// node is parked and reconsidered for contention, so a recovered node
+// with a backlog resumes without waiting for unrelated traffic.
+func (m *Medium) FaultChanged(node topology.NodeID) {
+	if int(node) < 0 || int(node) >= len(m.nodes) {
+		return
+	}
+	n := m.nodes[node]
+	if n.sched == nil || n.inExchange {
+		return
+	}
+	m.parked.set(int(node))
+	m.processParked()
+}
+
+// Drainer is implemented by schedulers whose queued packets can be
+// removed by predicate — the hook packet salvage uses to pull stranded
+// packets off a forwarding queue once their next hop is declared dead.
+type Drainer interface {
+	// Drain removes every queued packet for which match returns true,
+	// handing each removed packet to out, and returns how many were
+	// removed. The scheduler re-evaluates its head choice afterwards.
+	Drain(match func(*Packet) bool, out func(*Packet)) int
+}
+
+// DrainNode salvages queued packets at a node: every queued packet
+// matching the predicate — except one the MAC is currently contending
+// for or transmitting — is removed and handed to out. Nodes whose
+// scheduler does not implement Drainer report zero.
+func (m *Medium) DrainNode(node topology.NodeID, match func(*Packet) bool, out func(*Packet)) int {
+	if int(node) < 0 || int(node) >= len(m.nodes) {
+		return 0
+	}
+	n := m.nodes[node]
+	d, ok := n.sched.(Drainer)
+	if !ok {
+		return 0
+	}
+	pending := n.pending
+	removed := d.Drain(func(p *Packet) bool {
+		if p == pending {
+			return false
+		}
+		return match(p)
+	}, out)
+	if removed > 0 && !n.inExchange {
+		m.parked.set(int(node))
+		m.processParked()
+	}
+	return removed
+}
 
 // Attach installs a node's packet scheduler.
 func (m *Medium) Attach(node topology.NodeID, s Scheduler) error {
@@ -274,6 +395,11 @@ func (m *Medium) kick(n *nodeMAC) {
 	if n.sched == nil || n.pending != nil || n.inExchange {
 		return
 	}
+	if m.link != nil && !m.link.NodeUp(n.id) {
+		// A crashed node holds its backlog; FaultChanged re-kicks it
+		// on recovery.
+		return
+	}
 	p := n.sched.Head(m.eng.Now())
 	if p == nil {
 		return
@@ -333,6 +459,13 @@ func (m *Medium) attempt(n *nodeMAC, seq uint64) {
 		return
 	}
 	now := m.eng.Now()
+	if m.link != nil && !m.link.NodeUp(n.id) {
+		// The node crashed while counting down; park it with its
+		// backlog until a fault transition revives it.
+		n.counting = false
+		m.parked.set(int(n.id))
+		return
+	}
 	if now < n.busyUntil {
 		// The medium went busy between scheduling and firing;
 		// re-arm from the busy horizon.
@@ -360,6 +493,11 @@ func (m *Medium) resolve() {
 	live := m.live[:0]
 	for _, n := range atts {
 		if n.pending != nil && !n.inExchange {
+			if m.link != nil && !m.link.NodeUp(n.id) {
+				n.counting = false
+				m.parked.set(int(n.id))
+				continue
+			}
 			live = append(live, n)
 		}
 	}
@@ -372,6 +510,11 @@ func (m *Medium) resolve() {
 		}
 		rx := m.nodes[n.pending.Receiver()]
 		ok := !rx.inExchange && rx.busyUntil <= now
+		if ok && m.link != nil && (!m.link.NodeUp(rx.id) || !m.link.LinkUp(n.id, rx.id)) {
+			// A crashed receiver or downed link never answers the RTS;
+			// the attempt fails like any other unreachable receiver.
+			ok = false
+		}
 		if ok {
 			for _, other := range live {
 				if other == n {
@@ -447,6 +590,12 @@ func (m *Medium) beginBroadcast(n *nodeMAC, attempters []*nodeMAC) {
 		if m.jam.has(int(wi)) {
 			continue
 		}
+		if m.link != nil && (!m.link.NodeUp(w.id) || !m.link.LinkUp(n.id, w.id)) {
+			continue
+		}
+		if m.ch.Lossy() && m.ch.Corrupted(int(n.id), int(w.id), p.PayloadBytes) {
+			continue
+		}
 		receivers = append(receivers, w)
 	}
 	n.bcastRx = receivers
@@ -506,19 +655,50 @@ func (m *Medium) failAttempt(n *nodeMAC) {
 	m.trace(TraceEvent{Kind: TraceCollision, At: now, Node: n.id, Peer: -1, Pkt: n.pending})
 	n.retries++
 	if n.retries > m.retryLimit {
-		p := n.pending
-		n.sched.OnDrop(p, now)
-		n.pending = nil
-		n.retries = 0
-		if m.hooks.OnRetryDrop != nil {
-			m.hooks.OnRetryDrop(p, now)
-		}
-		m.trace(TraceEvent{Kind: TraceDrop, At: now, Node: n.id, Peer: -1, Pkt: p})
-		m.kick(n)
+		m.dropPending(n, now)
 		return
 	}
 	n.backoff = n.sched.DrawBackoff(m.rng, n.retries, now)
 	m.scheduleAttempt(n)
+}
+
+// dropPending abandons the node's head packet at the retry limit,
+// notifies the harness, and — on the fault path — feeds link-dead
+// escalation before restarting contention.
+func (m *Medium) dropPending(n *nodeMAC, now sim.Time) {
+	p := n.pending
+	rxID := p.Receiver()
+	n.sched.OnDrop(p, now)
+	n.pending = nil
+	n.retries = 0
+	if m.hooks.OnRetryDrop != nil {
+		m.hooks.OnRetryDrop(p, now)
+	}
+	m.trace(TraceEvent{Kind: TraceDrop, At: now, Node: n.id, Peer: -1, Pkt: p})
+	if m.link != nil && rxID >= 0 {
+		m.noteDrop(n, rxID, now)
+	}
+	m.kick(n)
+}
+
+// noteDrop tracks consecutive retry-exhaustion drops per receiver and
+// escalates to a link-dead signal once the run reaches the configured
+// threshold — immediately when the fault gate already marks the hop
+// unusable, since retrying a crashed receiver cannot succeed.
+func (m *Medium) noteDrop(n *nodeMAC, rx topology.NodeID, now sim.Time) {
+	if rx == n.dropRx {
+		n.dropRun++
+	} else {
+		n.dropRx, n.dropRun = rx, 1
+	}
+	if n.dropRun < m.deadAfter && m.link.NodeUp(rx) && m.link.LinkUp(n.id, rx) {
+		return
+	}
+	n.dropRx, n.dropRun = -1, 0
+	m.trace(TraceEvent{Kind: TraceLinkDead, At: now, Node: n.id, Peer: rx})
+	if m.hooks.OnLinkDead != nil {
+		m.hooks.OnLinkDead(n.id, rx, now)
+	}
 }
 
 // beginExchange starts a successful RTS-CTS-DATA-ACK exchange,
@@ -534,6 +714,12 @@ func (m *Medium) beginExchange(n, rx *nodeMAC) {
 	rx.inExchange = true
 	n.counting = false
 	n.attemptSeq++
+	if m.ch.Lossy() {
+		// The loss verdict is drawn when the frame goes on the air, so
+		// the exchange still occupies the channel for its full
+		// duration; the outcome differs only at completion.
+		n.exchCorrupt = m.ch.Corrupted(int(n.id), int(rx.id), p.PayloadBytes)
+	}
 
 	m.trace(TraceEvent{Kind: TraceExchangeStart, At: now, Node: n.id, Peer: rx.id, Pkt: p})
 	tag, hasTag := n.sched.CurrentTag()
@@ -581,6 +767,15 @@ func (m *Medium) finishExchange(n, rx *nodeMAC, p *Packet) {
 	now := m.eng.Now()
 	n.inExchange = false
 	rx.inExchange = false
+	if n.exchCorrupt {
+		n.exchCorrupt = false
+		m.corruptExchange(n, rx, p, now)
+		return
+	}
+	if m.link != nil {
+		// A completed hop resets link-dead escalation for this pair.
+		n.dropRx, n.dropRun = -1, 0
+	}
 	advice := 0.0
 	if rx.sched != nil {
 		advice = rx.sched.Advise(n.id, now)
@@ -593,6 +788,27 @@ func (m *Medium) finishExchange(n, rx *nodeMAC, p *Packet) {
 		m.hooks.OnDelivered(p, now)
 	}
 	m.parked.set(int(n.id))
+	m.parked.set(int(rx.id))
+	m.processParked()
+}
+
+// corruptExchange completes an exchange whose data frame the loss
+// model killed: the channel was occupied for the full duration, but no
+// ACK returns, so the packet stays at the head of its queue and the
+// sender backs off exponentially like any failed attempt — bounded by
+// the retry limit, after which the drop feeds link-dead escalation.
+func (m *Medium) corruptExchange(n, rx *nodeMAC, p *Packet, now sim.Time) {
+	if m.hooks.OnCorrupt != nil {
+		m.hooks.OnCorrupt(p, rx.id, now)
+	}
+	m.trace(TraceEvent{Kind: TraceCorrupt, At: now, Node: n.id, Peer: rx.id, Pkt: p})
+	n.retries++
+	if n.retries > m.retryLimit {
+		m.dropPending(n, now)
+	} else {
+		n.backoff = n.sched.DrawBackoff(m.rng, n.retries, now)
+		m.scheduleAttempt(n)
+	}
 	m.parked.set(int(rx.id))
 	m.processParked()
 }
@@ -619,6 +835,11 @@ func (m *Medium) processParked() {
 			if w.sched == nil || w.inExchange {
 				// Exchange endpoints are re-parked when they finish.
 				m.parked.clear(i)
+				continue
+			}
+			if m.link != nil && !m.link.NodeUp(w.id) {
+				// Crashed nodes stay parked; FaultChanged revisits
+				// them when a transition revives the node.
 				continue
 			}
 			if w.pending == nil {

@@ -31,6 +31,9 @@ type Packet struct {
 	// Broadcast marks a link-layer broadcast: sent without RTS/CTS or
 	// ACK and received by every idle neighbor in transmission range.
 	Broadcast bool
+	// Salvage counts how many times the resilience layer has re-routed
+	// this packet onto a detour, bounding per-packet repair effort.
+	Salvage int
 	// Meta carries protocol payload for control packets (e.g. DSR
 	// route requests); the MAC treats it as opaque.
 	Meta any

@@ -28,6 +28,35 @@ func (q *pktQueue) push(p *Packet) {
 	q.buf = append(q.buf, p)
 }
 
+// filter removes every queued packet matching the predicate while
+// preserving the order of survivors, handing each removed packet to
+// out (which may be nil). It returns the number removed.
+func (q *pktQueue) filter(match func(*Packet) bool, out func(*Packet)) int {
+	w := q.head
+	removed := 0
+	for r := q.head; r < len(q.buf); r++ {
+		p := q.buf[r]
+		if match(p) {
+			removed++
+			if out != nil {
+				out(p)
+			}
+			continue
+		}
+		q.buf[w] = p
+		w++
+	}
+	for i := w; i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:w]
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return removed
+}
+
 func (q *pktQueue) pop() {
 	if q.head < len(q.buf) {
 		q.buf[q.head] = nil

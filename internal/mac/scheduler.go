@@ -116,3 +116,8 @@ func (f *FIFO) CurrentTag() (float64, bool) { return 0, false }
 
 // Backlog implements Scheduler.
 func (f *FIFO) Backlog() int { return f.queue.len() }
+
+// Drain implements Drainer.
+func (f *FIFO) Drain(match func(*Packet) bool, out func(*Packet)) int {
+	return f.queue.filter(match, out)
+}

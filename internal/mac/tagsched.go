@@ -372,6 +372,35 @@ func (s *TagScheduler) Backlog() int {
 	return n
 }
 
+// NumQueues returns the number of registered subflow queues, which
+// bounds the node's total buffer space at NumQueues·QueueCap.
+func (s *TagScheduler) NumQueues() int { return len(s.queues) }
+
+// Drain implements Drainer: matching packets leave their subflow
+// queues; a queue whose head changed is retagged lazily on the next
+// Head call, and a drained sticky selection is dropped.
+func (s *TagScheduler) Drain(match func(*Packet) bool, out func(*Packet)) int {
+	total := 0
+	for _, q := range s.queues {
+		var frontBefore *Packet
+		if q.queue.len() > 0 {
+			frontBefore = q.queue.front()
+		}
+		n := q.queue.filter(match, out)
+		if n == 0 {
+			continue
+		}
+		total += n
+		if q.queue.len() == 0 || q.queue.front() != frontBefore {
+			q.tagged = false
+			if s.current == q {
+				s.current = nil
+			}
+		}
+	}
+	return total
+}
+
 // QueueLen returns the backlog of one subflow queue, for tests and
 // diagnostics.
 func (s *TagScheduler) QueueLen(id flow.SubflowID) int {

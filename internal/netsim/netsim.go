@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"e2efair/internal/core"
+	"e2efair/internal/fault"
 	"e2efair/internal/flow"
 	"e2efair/internal/mac"
 	"e2efair/internal/phy"
@@ -80,6 +81,24 @@ type Config struct {
 	// the mobility epoch loop — can cache its output across runs. Nil
 	// solves as usual.
 	Shares core.SubflowAllocation
+	// Fault, when non-nil, compiles and arms the deterministic fault
+	// plan: per-link loss, node crash/recover schedules and link flaps
+	// flow into the MAC, and the run gains RERR-style route repair,
+	// packet salvage and graceful allocation degradation. Nil keeps
+	// the exact fault-free datapath (byte-identical goldens).
+	Fault *fault.Plan
+	// Watchdog enables opt-in invariant checking (packet conservation
+	// under drops, per-node queue bounds, share floors); violations
+	// are reported in Result.Resilience, never panicked.
+	Watchdog bool
+	// DeadAfterDrops forwards to mac.Config: consecutive
+	// retry-exhaustion drops toward one receiver before the MAC
+	// declares the link dead (default mac.DefaultDeadAfterDrops).
+	DeadAfterDrops int
+	// RERRHopDelay models route-error propagation: the repair of a
+	// break i hops from the flow's source starts i·RERRHopDelay after
+	// the link-dead signal (default 1 ms).
+	RERRHopDelay sim.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +129,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryLimit == 0 {
 		c.RetryLimit = phy.DefaultRetryLimit
 	}
+	if c.RERRHopDelay == 0 {
+		c.RERRHopDelay = sim.Millisecond
+	}
 	return c
 }
 
@@ -130,6 +152,9 @@ type Result struct {
 	Series *stats.Series
 	// Latency tracks end-to-end packet delays per flow.
 	Latency *stats.LatencyTracker
+	// Resilience reports fault/recovery metrics; nil unless the run
+	// had a fault plan or the watchdog enabled.
+	Resilience *ResilienceReport
 }
 
 // Run executes one simulation.
@@ -143,6 +168,9 @@ func Run(inst *core.Instance, cfg Config) (*Result, error) {
 // allocator behaves exactly like Run.
 func RunWith(a *core.Allocator, inst *core.Instance, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Fault != nil || cfg.Watchdog {
+		return runResilient(a, inst, cfg)
+	}
 	col := stats.NewCollector()
 	lat := stats.NewLatencyTracker()
 	var stack *Stack

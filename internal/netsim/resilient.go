@@ -1,0 +1,742 @@
+package netsim
+
+import (
+	"fmt"
+
+	"e2efair/internal/core"
+	"e2efair/internal/fault"
+	"e2efair/internal/flow"
+	"e2efair/internal/mac"
+	"e2efair/internal/routing"
+	"e2efair/internal/sim"
+	"e2efair/internal/stats"
+	"e2efair/internal/topology"
+	"e2efair/internal/traffic"
+)
+
+// salvageLimit bounds how many times one packet may be re-routed onto
+// a detour before it is dropped as unroutable, so a pathological fault
+// plan cannot make a packet circulate forever.
+const salvageLimit = 3
+
+// watchdogEvery is the invariant watchdog's sampling period.
+const watchdogEvery = sim.Second
+
+// maxViolations caps the recorded violation strings.
+const maxViolations = 32
+
+// ResilienceReport surfaces the fault/recovery metrics of one run:
+// drops by cause, route-repair activity, allocation degradation, and
+// any invariant violations the watchdog observed.
+type ResilienceReport struct {
+	// Emitted counts packets the sources generated; Injected counts
+	// those the source queue accepted.
+	Emitted  int64
+	Injected int64
+	// Delivered counts end-to-end deliveries.
+	Delivered int64
+
+	// Drops by cause. Every lost in-network packet is attributed to
+	// exactly one of RetryDrops, QueueDrops or NoRouteDrops;
+	// SourceDrops never entered the network.
+	SourceDrops  int64
+	QueueDrops   int64
+	RetryDrops   int64
+	NoRouteDrops int64
+
+	// CorruptFrames counts unicast exchanges killed by the channel
+	// loss model; InjectedLosses is the injector's own count of every
+	// corruption it caused (broadcast receptions included), so
+	// attribution can be verified.
+	CorruptFrames  int64
+	InjectedLosses int64
+
+	// Recovery activity.
+	LinkDeadSignals int64
+	RouteErrors     int64
+	Reroutes        int64
+	Salvaged        int64
+	Reallocations   int64
+	DegradedAllocs  int64
+	// RepairTime accumulates link-dead-to-reroute-installed time
+	// across all reroutes.
+	RepairTime sim.Time
+
+	// Watchdog output.
+	WatchdogChecks int64
+	Violations     []string
+
+	// FinalRoutes is each flow's route at the end of the run.
+	FinalRoutes map[flow.ID][]topology.NodeID
+}
+
+// MeanTimeToRepair returns the average link-dead-to-reroute latency.
+func (r *ResilienceReport) MeanTimeToRepair() sim.Time {
+	if r.Reroutes == 0 {
+		return 0
+	}
+	return r.RepairTime / sim.Time(r.Reroutes)
+}
+
+// pendingRepair is a flow awaiting route repair: at is when the
+// RERR-style notification reaches the source, brokenAt when the break
+// was detected.
+type pendingRepair struct {
+	at       sim.Time
+	brokenAt sim.Time
+}
+
+// ukey builds an undirected link key.
+func ukey(a, b topology.NodeID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// shareSetter is the scheduler surface reallocation drives: both the
+// tag scheduler and DFS implement it.
+type shareSetter interface {
+	AddSubflow(id flow.SubflowID, share float64) error
+	SetShare(id flow.SubflowID, share float64) error
+}
+
+// resilience coordinates the fault-aware run: it owns current routes,
+// reacts to link-dead signals with RERR-delayed batched repair,
+// salvages stranded packets, re-solves shares with graceful LP
+// degradation, and runs the invariant watchdog.
+type resilience struct {
+	cfg   Config
+	inst  *core.Instance
+	alloc *core.Allocator
+	stack *Stack
+	inj   *fault.Injector
+	col   *stats.Collector
+	lat   *stats.LatencyTracker
+	rep   *ResilienceReport
+
+	flowIDs     []flow.ID
+	routes      map[flow.ID][]topology.NodeID
+	flowShare   map[flow.ID]float64
+	organic     map[uint64]bool // MAC-declared dead links
+	pending     map[flow.ID]pendingRepair
+	unreachable map[flow.ID]sim.Time
+
+	bfs      routing.BFSTree
+	keepFn   func(u, v topology.NodeID) bool
+	repairFn func()
+}
+
+// runResilient is RunWith's fault-aware twin: same stack, same
+// sources, plus the resilience coordinator wired into the MAC hooks.
+func runResilient(a *core.Allocator, inst *core.Instance, cfg Config) (*Result, error) {
+	if inst.Topo == nil {
+		return nil, ErrNeedTopology
+	}
+	var inj *fault.Injector
+	if cfg.Fault != nil {
+		var err error
+		inj, err = cfg.Fault.Compile(inst.Topo.NumNodes())
+		if err != nil {
+			return nil, err
+		}
+	}
+	if a == nil {
+		a = core.NewAllocatorWorkers(1)
+	}
+	r := &resilience{
+		cfg:         cfg,
+		inst:        inst,
+		alloc:       a,
+		inj:         inj,
+		col:         stats.NewCollector(),
+		lat:         stats.NewLatencyTracker(),
+		rep:         &ResilienceReport{},
+		routes:      make(map[flow.ID][]topology.NodeID),
+		flowShare:   make(map[flow.ID]float64),
+		organic:     make(map[uint64]bool),
+		pending:     make(map[flow.ID]pendingRepair),
+		unreachable: make(map[flow.ID]sim.Time),
+	}
+	r.keepFn = r.linkAlive
+	r.repairFn = r.repair
+	// Solve the initial shares gracefully so a degenerate instance
+	// degrades to basic shares instead of failing the run.
+	if cfg.Shares == nil && cfg.Protocol != Protocol80211 {
+		shares, degraded, err := r.solveShares(inst)
+		if err != nil {
+			return nil, err
+		}
+		if degraded {
+			r.rep.DegradedAllocs++
+		}
+		cfg.Shares = shares
+		r.cfg.Shares = shares
+	}
+	hooks := mac.Hooks{
+		OnDelivered: r.onDelivered,
+		OnRetryDrop: r.onRetryDrop,
+		OnCollision: func(_ topology.NodeID, _ sim.Time) { r.col.Collision() },
+		OnCorrupt:   r.onCorrupt,
+		OnLinkDead:  r.onLinkDead,
+	}
+	stack, err := NewStackWith(a, inst, cfg, hooks)
+	if err != nil {
+		return nil, err
+	}
+	r.stack = stack
+	if inj != nil {
+		stack.Medium.SetLinkState(inj)
+		stack.Medium.Channel().SetLossModel(inj)
+		if err := inj.Arm(stack.Engine, r.onFaultChange); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range inst.Flows.Flows() {
+		fid := f.ID()
+		r.flowIDs = append(r.flowIDs, fid)
+		r.routes[fid] = f.Path()
+		if stack.Shares != nil {
+			r.flowShare[fid] = stack.Shares[flow.SubflowID{Flow: fid, Hop: 0}]
+		}
+	}
+	for i, f := range inst.Flows.Flows() {
+		fid := f.ID()
+		err := traffic.StartCBR(stack.Engine, stack.Medium, traffic.CBRConfig{
+			Flow:         f,
+			PacketsPerS:  cfg.PacketsPerS,
+			PayloadBytes: cfg.PayloadBytes,
+			Offset:       sim.Time(i) * 137 * sim.Microsecond,
+			Until:        cfg.Duration,
+			Route:        func() []topology.NodeID { return r.routes[fid] },
+			OnEmit: func(_ *mac.Packet, accepted bool, _ sim.Time) {
+				r.rep.Emitted++
+				if accepted {
+					r.rep.Injected++
+				} else {
+					r.col.QueueDrop(false)
+					r.rep.SourceDrops++
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var series *stats.Series
+	if cfg.SampleEvery > 0 {
+		series = stats.NewSeries(cfg.SampleEvery)
+		var sample func()
+		sample = func() {
+			series.Sample(stack.Engine.Now(), r.col)
+			if stack.Engine.Now() < cfg.Duration {
+				_ = stack.Engine.After(cfg.SampleEvery, 0, sample)
+			}
+		}
+		_ = stack.Engine.After(cfg.SampleEvery, 0, sample)
+	}
+	if cfg.Watchdog {
+		r.checkShareFloor(inst, stack.Shares)
+		var tick func()
+		tick = func() {
+			r.checkInvariants()
+			if stack.Engine.Now() < cfg.Duration {
+				_ = stack.Engine.After(watchdogEvery, 0, tick)
+			}
+		}
+		_ = stack.Engine.After(watchdogEvery, 0, tick)
+	}
+
+	stack.Engine.Run(cfg.Duration)
+
+	if cfg.Watchdog {
+		r.checkInvariants()
+	}
+	if inj != nil {
+		r.rep.InjectedLosses = inj.Corruptions()
+	}
+	r.rep.FinalRoutes = make(map[flow.ID][]topology.NodeID, len(r.flowIDs))
+	for _, fid := range r.flowIDs {
+		r.rep.FinalRoutes[fid] = r.routes[fid]
+	}
+	return &Result{
+		Protocol:   cfg.Protocol,
+		Duration:   cfg.Duration,
+		Stats:      r.col,
+		Shares:     stack.Shares,
+		Airtime:    stack.Medium.Airtime(),
+		Series:     series,
+		Latency:    r.lat,
+		Resilience: r.rep,
+	}, nil
+}
+
+// linkAlive is the BFS keep predicate: a link is usable unless the MAC
+// declared it dead or the injector holds it (or an endpoint) down.
+func (r *resilience) linkAlive(u, v topology.NodeID) bool {
+	if r.organic[ukey(u, v)] {
+		return false
+	}
+	if r.inj != nil && (!r.inj.NodeUp(u) || !r.inj.NodeUp(v) || !r.inj.LinkUp(u, v)) {
+		return false
+	}
+	return true
+}
+
+func (r *resilience) onDelivered(p *mac.Packet, now sim.Time) {
+	r.col.HopDelivered(p.SubflowID(), p.LastHop())
+	if p.LastHop() {
+		r.lat.Record(p.Flow, now-p.Born)
+		r.rep.Delivered++
+		r.stack.Medium.FreePacket(p)
+		return
+	}
+	p.Hop++
+	ok, injErr := r.stack.Medium.Inject(p)
+	if injErr == nil && !ok {
+		r.col.QueueDrop(true)
+		r.col.DropAt(p.SubflowID())
+		r.rep.QueueDrops++
+		r.stack.Medium.FreePacket(p)
+	}
+}
+
+// onRetryDrop salvages the abandoned packet onto a detour when one
+// exists; otherwise the drop is attributed (retry vs no-route) and the
+// packet freed.
+func (r *resilience) onRetryDrop(p *mac.Packet, now sim.Time) {
+	if r.inj != nil && r.salvage(p, now) {
+		r.rep.Salvaged++
+		return
+	}
+	inFlight := p.Hop >= 1
+	r.col.RetryDrop(inFlight)
+	if inFlight {
+		r.col.DropAt(p.SubflowID())
+	}
+	r.rep.RetryDrops++
+	r.stack.Medium.FreePacket(p)
+}
+
+func (r *resilience) onCorrupt(_ *mac.Packet, _ topology.NodeID, _ sim.Time) {
+	r.rep.CorruptFrames++
+}
+
+// onLinkDead is the RERR origin: the dead link is masked out of the
+// routing view, the transmitter's queue is salvaged, and every flow
+// routed over the link is scheduled for repair after an RERR-style
+// per-hop propagation delay back to its source.
+func (r *resilience) onLinkDead(tx, rx topology.NodeID, now sim.Time) {
+	r.rep.LinkDeadSignals++
+	r.organic[ukey(tx, rx)] = true
+	r.stack.Medium.DrainNode(tx, func(p *mac.Packet) bool {
+		return p.Receiver() == rx
+	}, func(p *mac.Packet) { r.salvageDrained(p, now) })
+	r.scheduleFlowRepairs(tx, rx, now)
+}
+
+// scheduleFlowRepairs queues repair for every flow whose current route
+// crosses the undirected link a-b.
+func (r *resilience) scheduleFlowRepairs(a, b topology.NodeID, now sim.Time) {
+	affected := false
+	for _, fid := range r.flowIDs {
+		i := hopIndex(r.routes[fid], a, b)
+		if i < 0 {
+			continue
+		}
+		affected = true
+		r.queueRepair(fid, now, now+sim.Time(i)*r.cfg.RERRHopDelay)
+	}
+	if affected {
+		r.rep.RouteErrors++
+	}
+}
+
+// queueRepair registers a flow for repair at time at; an already
+// pending repair keeps its earlier schedule.
+func (r *resilience) queueRepair(fid flow.ID, brokenAt, at sim.Time) {
+	if _, ok := r.pending[fid]; ok {
+		return
+	}
+	delete(r.unreachable, fid)
+	r.pending[fid] = pendingRepair{at: at, brokenAt: brokenAt}
+	_ = r.stack.Engine.Schedule(at, 1, r.repairFn)
+}
+
+// hopIndex returns the hop index at which the route crosses the
+// undirected link a-b, or -1.
+func hopIndex(route []topology.NodeID, a, b topology.NodeID) int {
+	for i := 0; i+1 < len(route); i++ {
+		if (route[i] == a && route[i+1] == b) || (route[i] == b && route[i+1] == a) {
+			return i
+		}
+	}
+	return -1
+}
+
+// onFaultChange reacts to an injected transition: the MAC reconsiders
+// the affected nodes, downed elements trigger proactive salvage and
+// repair, and recoveries retry unreachable flows.
+func (r *resilience) onFaultChange(ch fault.Change) {
+	now := ch.At
+	med := r.stack.Medium
+	if ch.Node >= 0 {
+		if ch.Up {
+			r.clearOrganicAt(ch.Node)
+			med.FaultChanged(ch.Node)
+			r.retryUnreachable(now)
+			return
+		}
+		// Crash: flows routed through the node must detour; packets
+		// queued at upstream neighbors toward it are salvaged.
+		for _, fid := range r.flowIDs {
+			route := r.routes[fid]
+			for i, n := range route {
+				if n != ch.Node {
+					continue
+				}
+				if i >= 1 {
+					up := route[i-1]
+					med.DrainNode(up, func(p *mac.Packet) bool {
+						return p.Receiver() == ch.Node
+					}, func(p *mac.Packet) { r.salvageDrained(p, now) })
+				}
+				r.queueRepair(fid, now, now+sim.Time(max(i-1, 0))*r.cfg.RERRHopDelay)
+				break
+			}
+		}
+		med.FaultChanged(ch.Node)
+		return
+	}
+	if ch.Up {
+		delete(r.organic, ukey(ch.A, ch.B))
+		med.FaultChanged(ch.A)
+		med.FaultChanged(ch.B)
+		r.retryUnreachable(now)
+		return
+	}
+	// Link down: salvage queued traffic on both directions, then
+	// schedule repairs for flows crossing it.
+	for _, end := range [2][2]topology.NodeID{{ch.A, ch.B}, {ch.B, ch.A}} {
+		tx, rx := end[0], end[1]
+		med.DrainNode(tx, func(p *mac.Packet) bool {
+			return p.Receiver() == rx
+		}, func(p *mac.Packet) { r.salvageDrained(p, now) })
+	}
+	r.scheduleFlowRepairs(ch.A, ch.B, now)
+	med.FaultChanged(ch.A)
+	med.FaultChanged(ch.B)
+}
+
+// clearOrganicAt forgets MAC-declared dead links incident to a node
+// that just recovered: the declarations were (possibly) symptoms of
+// the crash, and traffic re-probes the links naturally.
+func (r *resilience) clearOrganicAt(node topology.NodeID) {
+	for k := range r.organic {
+		if topology.NodeID(k>>32) == node || topology.NodeID(uint32(k)) == node {
+			delete(r.organic, k)
+		}
+	}
+}
+
+// retryUnreachable re-queues repair for flows that previously found no
+// route, now that something recovered.
+func (r *resilience) retryUnreachable(now sim.Time) {
+	for _, fid := range r.flowIDs {
+		brokenAt, ok := r.unreachable[fid]
+		if !ok {
+			continue
+		}
+		delete(r.unreachable, fid)
+		r.queueRepair(fid, brokenAt, now+r.cfg.RERRHopDelay)
+	}
+}
+
+// repair processes due pending repairs in flow order — the batched
+// route repair: one BFS per distinct flow, one reallocation for the
+// whole batch.
+func (r *resilience) repair() {
+	now := r.stack.Engine.Now()
+	changed := false
+	for _, fid := range r.flowIDs {
+		pr, ok := r.pending[fid]
+		if !ok || pr.at > now {
+			continue
+		}
+		delete(r.pending, fid)
+		if r.reroute(fid, pr.brokenAt, now) {
+			changed = true
+		}
+	}
+	if changed {
+		r.reallocate(now)
+	}
+}
+
+// reroute recomputes one flow's route over the masked topology.
+func (r *resilience) reroute(fid flow.ID, brokenAt, now sim.Time) bool {
+	f, err := r.inst.Flows.Get(fid)
+	if err != nil {
+		return false
+	}
+	src, dst := f.Source(), f.Destination()
+	if r.inj != nil && (!r.inj.NodeUp(src) || !r.inj.NodeUp(dst)) {
+		r.unreachable[fid] = brokenAt
+		return false
+	}
+	if err := r.bfs.BuildFiltered(r.inst.Topo, src, r.keepFn); err != nil {
+		r.unreachable[fid] = brokenAt
+		return false
+	}
+	path, err := r.bfs.PathTo(dst)
+	if err != nil {
+		r.unreachable[fid] = brokenAt
+		return false
+	}
+	if equalPath(path, r.routes[fid]) {
+		return false
+	}
+	r.routes[fid] = path
+	r.rep.Reroutes++
+	r.rep.RepairTime += now - brokenAt
+	r.trace(mac.TraceEvent{Kind: mac.TraceReroute, At: now, Node: src, Peer: dst})
+	return true
+}
+
+func equalPath(a, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// salvage re-routes an abandoned packet from its current node onto a
+// fault-free path to its destination and re-injects it. It returns
+// false when no detour exists (or the packet exhausted its salvage
+// budget); the caller attributes and frees the packet.
+func (r *resilience) salvage(p *mac.Packet, now sim.Time) bool {
+	if p.Salvage >= salvageLimit {
+		return false
+	}
+	u := p.Transmitter()
+	dst := p.Path[len(p.Path)-1]
+	if u == dst {
+		return false
+	}
+	if r.inj != nil && (!r.inj.NodeUp(u) || !r.inj.NodeUp(dst)) {
+		return false
+	}
+	if err := r.bfs.BuildFiltered(r.inst.Topo, u, r.keepFn); err != nil {
+		return false
+	}
+	path, err := r.bfs.PathTo(dst)
+	if err != nil {
+		return false
+	}
+	r.registerPath(p.Flow, path)
+	p.Path = path
+	p.Hop = 0
+	p.Salvage++
+	ok, injErr := r.stack.Medium.Inject(p)
+	if injErr != nil || !ok {
+		return false
+	}
+	r.trace(mac.TraceEvent{Kind: mac.TraceSalvage, At: now, Node: u, Peer: dst, Pkt: p})
+	return true
+}
+
+// salvageDrained handles a packet pulled off a forwarding queue by a
+// link-dead drain: salvage it, or attribute the loss as no-route.
+func (r *resilience) salvageDrained(p *mac.Packet, now sim.Time) {
+	if r.salvage(p, now) {
+		r.rep.Salvaged++
+		return
+	}
+	inFlight := p.Hop >= 1
+	r.col.QueueDrop(inFlight)
+	if inFlight {
+		r.col.DropAt(p.SubflowID())
+	}
+	r.rep.NoRouteDrops++
+	r.stack.Medium.FreePacket(p)
+}
+
+// registerPath makes sure every transmitting node along a detour
+// accepts the flow's subflow IDs, registering missing queues at the
+// flow's current share. Existing registrations are left untouched.
+func (r *resilience) registerPath(fid flow.ID, path []topology.NodeID) {
+	share := r.flowShare[fid]
+	for i := 0; i+1 < len(path); i++ {
+		sched := r.stack.Medium.SchedulerAt(path[i])
+		ss, ok := sched.(shareSetter)
+		if !ok {
+			continue
+		}
+		// AddSubflow fails harmlessly when the id is already known.
+		_ = ss.AddSubflow(flow.SubflowID{Flow: fid, Hop: i}, share)
+	}
+}
+
+// solveShares computes the protocol's per-subflow allocation with
+// graceful LP degradation.
+func (r *resilience) solveShares(sub *core.Instance) (core.SubflowAllocation, bool, error) {
+	switch r.cfg.Protocol {
+	case Protocol80211:
+		return nil, false, nil
+	case ProtocolTwoTier:
+		return core.TwoTierAllocate(sub), false, nil
+	case Protocol2PAC, ProtocolDFS:
+		alloc, degraded, err := r.alloc.GracefulCentralized(sub, core.CentralizedOptions{Refine: true})
+		if err != nil {
+			return nil, false, err
+		}
+		return alloc.Uniform(sub.Flows), degraded, nil
+	case Protocol2PAD:
+		alloc, degraded, err := r.alloc.GracefulDistributed(sub)
+		if err != nil {
+			return nil, false, err
+		}
+		return alloc.Uniform(sub.Flows), degraded, nil
+	default:
+		return nil, false, fmt.Errorf("netsim: unknown protocol %d", int(r.cfg.Protocol))
+	}
+}
+
+// reallocate re-solves shares over the current routes and installs
+// them into the running schedulers — the graceful-degradation
+// re-allocation on topology change. Failures are recorded, never
+// fatal: the previous shares stay in force.
+func (r *resilience) reallocate(now sim.Time) {
+	if r.cfg.Protocol == Protocol80211 {
+		return
+	}
+	fls := make([]*flow.Flow, 0, len(r.flowIDs))
+	for _, fid := range r.flowIDs {
+		f, err := r.inst.Flows.Get(fid)
+		if err != nil {
+			continue
+		}
+		nf, err := flow.New(fid, f.Weight(), r.routes[fid])
+		if err != nil {
+			r.violation(now, fmt.Sprintf("reallocate: rebuild flow %s: %v", fid, err))
+			return
+		}
+		fls = append(fls, nf)
+	}
+	set, err := flow.NewSet(fls...)
+	if err != nil {
+		r.violation(now, fmt.Sprintf("reallocate: flow set: %v", err))
+		return
+	}
+	// Lenient: detours may pass within range of other route nodes,
+	// which the strict no-shortcut validation would reject.
+	sub, err := core.NewInstanceLenient(r.inst.Topo, set)
+	if err != nil {
+		r.violation(now, fmt.Sprintf("reallocate: instance: %v", err))
+		return
+	}
+	shares, degraded, err := r.solveShares(sub)
+	if err != nil {
+		r.violation(now, fmt.Sprintf("reallocate: solve: %v", err))
+		return
+	}
+	r.rep.Reallocations++
+	if degraded {
+		r.rep.DegradedAllocs++
+		r.trace(mac.TraceEvent{Kind: mac.TraceDegraded, At: now, Node: -1, Peer: -1})
+	}
+	for _, f := range sub.Flows.Flows() {
+		for _, s := range f.Subflows() {
+			share := shares[s.ID]
+			sched := r.stack.Medium.SchedulerAt(s.Src)
+			ss, ok := sched.(shareSetter)
+			if !ok {
+				continue
+			}
+			if err := ss.SetShare(s.ID, share); err != nil {
+				_ = ss.AddSubflow(s.ID, share)
+			}
+		}
+		r.flowShare[f.ID()] = shares[flow.SubflowID{Flow: f.ID(), Hop: 0}]
+	}
+	if r.cfg.Watchdog {
+		r.checkShareFloorInstance(sub, shares)
+	}
+}
+
+// trace forwards a resilience event through the configured tracer.
+func (r *resilience) trace(ev mac.TraceEvent) {
+	if r.cfg.Tracer != nil {
+		r.cfg.Tracer.Trace(ev)
+	}
+}
+
+// violation records a watchdog violation (bounded).
+func (r *resilience) violation(now sim.Time, msg string) {
+	if len(r.rep.Violations) >= maxViolations {
+		return
+	}
+	r.rep.Violations = append(r.rep.Violations, fmt.Sprintf("t=%.6f %s", now.Seconds(), msg))
+}
+
+// checkShareFloor verifies the basic-share floor of the paper's
+// fairness constraint on the initial allocation.
+func (r *resilience) checkShareFloor(inst *core.Instance, shares core.SubflowAllocation) {
+	switch r.cfg.Protocol {
+	case Protocol2PAC, Protocol2PAD, ProtocolDFS:
+		r.checkShareFloorInstance(inst, shares)
+	}
+}
+
+// checkShareFloorInstance asserts every flow's installed share is at
+// least its closed-form basic share (within tolerance) — the invariant
+// both the LP and the degraded fallback must satisfy.
+func (r *resilience) checkShareFloorInstance(inst *core.Instance, shares core.SubflowAllocation) {
+	if shares == nil {
+		return
+	}
+	now := r.stack.Engine.Now()
+	basic := core.BasicShares(inst)
+	const tol = 1e-6
+	for _, f := range inst.Flows.Flows() {
+		got := shares[flow.SubflowID{Flow: f.ID(), Hop: 0}]
+		if want := basic[f.ID()]; got+tol < want {
+			r.violation(now, fmt.Sprintf("share floor: flow %s got %.9f < basic %.9f", f.ID(), got, want))
+		}
+	}
+}
+
+// checkInvariants runs the watchdog's conservation and queue-bound
+// checks at the current instant. Events fire atomically between
+// packet handoffs, so the balance holds exactly: every accepted
+// packet is delivered, attributed to one drop cause, or still queued.
+func (r *resilience) checkInvariants() {
+	r.rep.WatchdogChecks++
+	now := r.stack.Engine.Now()
+	backlog := int64(r.stack.Medium.Backlog())
+	accounted := r.rep.Delivered + r.rep.QueueDrops + r.rep.RetryDrops + r.rep.NoRouteDrops + backlog
+	if r.rep.Injected != accounted {
+		r.violation(now, fmt.Sprintf("conservation: injected %d != delivered %d + drops %d + backlog %d",
+			r.rep.Injected, r.rep.Delivered,
+			r.rep.QueueDrops+r.rep.RetryDrops+r.rep.NoRouteDrops, backlog))
+	}
+	for i := 0; i < r.inst.Topo.NumNodes(); i++ {
+		sched := r.stack.Medium.SchedulerAt(topology.NodeID(i))
+		if sched == nil {
+			continue
+		}
+		bound := r.cfg.QueueCap
+		if ts, ok := sched.(*mac.TagScheduler); ok {
+			bound = r.cfg.QueueCap * max(1, ts.NumQueues())
+		}
+		if got := sched.Backlog(); got > bound {
+			r.violation(now, fmt.Sprintf("queue bound: node %d backlog %d > %d", i, got, bound))
+		}
+	}
+}

@@ -51,7 +51,12 @@ func NewStackWith(a *core.Allocator, inst *core.Instance, cfg Config, hooks mac.
 	if err != nil {
 		return nil, err
 	}
-	medium, err := mac.NewMedium(eng, inst.Topo, rng, mac.Config{Channel: ch, RetryLimit: cfg.RetryLimit, Tracer: cfg.Tracer}, hooks)
+	medium, err := mac.NewMedium(eng, inst.Topo, rng, mac.Config{
+		Channel:        ch,
+		RetryLimit:     cfg.RetryLimit,
+		Tracer:         cfg.Tracer,
+		DeadAfterDrops: cfg.DeadAfterDrops,
+	}, hooks)
 	if err != nil {
 		return nil, err
 	}

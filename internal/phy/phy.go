@@ -44,6 +44,15 @@ const (
 // ErrBadRate is returned for non-positive channel rates.
 var ErrBadRate = errors.New("phy: channel rate must be positive")
 
+// LossModel injects frame corruption into the channel: Corrupted
+// reports whether a frame of the given size from tx to rx is lost in
+// transit. Implementations own their random state and must be
+// deterministic for a given seed; the fault injector is the canonical
+// implementation. A nil model is the lossless channel of the paper.
+type LossModel interface {
+	Corrupted(tx, rx int, bytes int) bool
+}
+
 // Channel captures the physical-layer parameters of the shared medium.
 // Control-frame airtimes are fixed by the bit rate, so NewChannel
 // precomputes them once; the per-packet MAC hot path then reads cached
@@ -63,6 +72,25 @@ type Channel struct {
 	// packet. Channels are per-engine and single-threaded.
 	memoPayload int
 	memoData    sim.Time
+
+	loss LossModel
+}
+
+// SetLossModel installs (or clears, with nil) the channel's frame
+// corruption model.
+func (c *Channel) SetLossModel(m LossModel) { c.loss = m }
+
+// Lossy reports whether a loss model is installed, letting the MAC
+// skip corruption draws entirely on the lossless fast path.
+func (c *Channel) Lossy() bool { return c.loss != nil }
+
+// Corrupted asks the loss model whether a frame from tx to rx of the
+// given payload size is lost. Lossless channels always return false.
+func (c *Channel) Corrupted(tx, rx, bytes int) bool {
+	if c.loss == nil {
+		return false
+	}
+	return c.loss.Corrupted(tx, rx, bytes)
 }
 
 // NewChannel returns a channel at the given bit rate; rate 0 selects

@@ -76,6 +76,49 @@ func (bt *BFSTree) Build(t *topology.Topology, src topology.NodeID) error {
 	return nil
 }
 
+// BuildFiltered runs BFS from src over t using only the edges the keep
+// predicate admits, replacing any previous tree. It is Build with a
+// link mask — the route-repair search of the resilience layer, which
+// must detour around administratively dead links and crashed nodes
+// that the geometric topology still contains. A nil keep is Build.
+func (bt *BFSTree) BuildFiltered(t *topology.Topology, src topology.NodeID, keep func(u, v topology.NodeID) bool) error {
+	if keep == nil {
+		return bt.Build(t, src)
+	}
+	n := t.NumNodes()
+	if int(src) < 0 || int(src) >= n {
+		bt.built = false
+		return fmt.Errorf("%w: bad source %d", ErrNoRoute, src)
+	}
+	if cap(bt.prev) < n {
+		bt.prev = make([]topology.NodeID, n)
+		bt.queue = make([]topology.NodeID, n)
+	} else {
+		bt.prev = bt.prev[:n]
+		bt.queue = bt.queue[:n]
+	}
+	for i := range bt.prev {
+		bt.prev[i] = -1
+	}
+	bt.prev[src] = src
+	bt.queue[0] = src
+	head, tail := 0, 1
+	for head < tail {
+		u := bt.queue[head]
+		head++
+		for _, v := range t.Neighbors(u) {
+			if bt.prev[v] == -1 && keep(u, v) {
+				bt.prev[v] = u
+				bt.queue[tail] = v
+				tail++
+			}
+		}
+	}
+	bt.src = src
+	bt.built = true
+	return nil
+}
+
 // Source returns the root of the current tree.
 func (bt *BFSTree) Source() topology.NodeID { return bt.src }
 

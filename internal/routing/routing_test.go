@@ -208,3 +208,84 @@ func TestShortestPathsNeverHaveShortcuts(t *testing.T) {
 		}
 	}
 }
+
+func TestBuildFiltered(t *testing.T) {
+	topo := grid(t)
+	// Grid ids: 0 1 2 / 3 4 5 / 6 7 8. Unfiltered shortest 0→2 is
+	// 0-1-2; masking link 0-1 forces the detour through row 2.
+	var bt BFSTree
+	if err := bt.BuildFiltered(topo, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	path, err := bt.PathTo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 1 {
+		t.Fatalf("nil keep path = %v, want 0-1-2", path)
+	}
+	blocked := func(u, v topology.NodeID) bool {
+		if u > v {
+			u, v = v, u
+		}
+		return !(u == 0 && v == 1)
+	}
+	if err := bt.BuildFiltered(topo, 0, blocked); err != nil {
+		t.Fatal(err)
+	}
+	path, err = bt.PathTo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 5 || path[0] != 0 || path[len(path)-1] != 2 {
+		t.Fatalf("masked path = %v, want a 4-hop detour", path)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !blocked(path[i], path[i+1]) {
+			t.Fatalf("masked path %v crosses the blocked link", path)
+		}
+		if !topo.InTxRange(path[i], path[i+1]) {
+			t.Fatalf("masked path %v uses a non-link hop", path)
+		}
+	}
+	// Masking every edge out of the source partitions it.
+	if err := bt.BuildFiltered(topo, 0, func(u, v topology.NodeID) bool {
+		return u != 0 && v != 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bt.Reached(2) {
+		t.Error("fully masked source still reaches node 2")
+	}
+	if _, err := bt.PathTo(2); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("PathTo over masked partition: err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestBuildFilteredMatchesBuildWithPermissiveKeep(t *testing.T) {
+	topo := grid(t)
+	var plain, filtered BFSTree
+	for src := 0; src < topo.NumNodes(); src++ {
+		if err := plain.Build(topo, topology.NodeID(src)); err != nil {
+			t.Fatal(err)
+		}
+		if err := filtered.BuildFiltered(topo, topology.NodeID(src), func(u, v topology.NodeID) bool { return true }); err != nil {
+			t.Fatal(err)
+		}
+		for dst := 0; dst < topo.NumNodes(); dst++ {
+			p1, err1 := plain.PathTo(topology.NodeID(dst))
+			p2, err2 := filtered.PathTo(topology.NodeID(dst))
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("src %d dst %d: err mismatch %v vs %v", src, dst, err1, err2)
+			}
+			if len(p1) != len(p2) {
+				t.Fatalf("src %d dst %d: %v vs %v", src, dst, p1, p2)
+			}
+			for i := range p1 {
+				if p1[i] != p2[i] {
+					t.Fatalf("src %d dst %d: %v vs %v", src, dst, p1, p2)
+				}
+			}
+		}
+	}
+}

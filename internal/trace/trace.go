@@ -9,6 +9,11 @@
 //	b 1.240000 C -> *   dsr-rreq#1    (broadcast)
 //	c 1.241000 A        F1#43@hop0    (failed floor acquisition)
 //	D 1.250000 A        F1#43@hop0    (retry-limit drop)
+//	x 1.252000 A -> B   F1#44@hop0    (frame corrupted by loss model)
+//	L 1.260000 A -> B   F1#44@hop0    (link declared dead)
+//	R 1.261000 A -> C   <nil>         (route repaired src -> dst)
+//	v 1.261500 B -> C   F1#44@hop1    (packet salvaged onto detour)
+//	g 1.262000 A        <nil>         (allocation degraded to basic)
 package trace
 
 import (
@@ -33,6 +38,16 @@ func kindCode(k mac.TraceKind) byte {
 		return 'c'
 	case mac.TraceDrop:
 		return 'D'
+	case mac.TraceCorrupt:
+		return 'x'
+	case mac.TraceLinkDead:
+		return 'L'
+	case mac.TraceReroute:
+		return 'R'
+	case mac.TraceSalvage:
+		return 'v'
+	case mac.TraceDegraded:
+		return 'g'
 	default:
 		return '?'
 	}
@@ -55,7 +70,8 @@ func Format(ev mac.TraceEvent, names func(topology.NodeID) string) string {
 		pkt = ev.Pkt.String()
 	}
 	switch ev.Kind {
-	case mac.TraceExchangeStart, mac.TraceExchangeEnd:
+	case mac.TraceExchangeStart, mac.TraceExchangeEnd,
+		mac.TraceCorrupt, mac.TraceLinkDead, mac.TraceReroute, mac.TraceSalvage:
 		return fmt.Sprintf("%c %.6f %s -> %s %s",
 			kindCode(ev.Kind), ev.At.Seconds(), name(ev.Node), name(ev.Peer), pkt)
 	default:

@@ -22,6 +22,11 @@ func TestFormat(t *testing.T) {
 		{mac.TraceEvent{Kind: mac.TraceExchangeEnd, At: 2000000, Node: 0, Peer: 1, Pkt: p}, "r 2.000000 A -> B F1#42@hop0"},
 		{mac.TraceEvent{Kind: mac.TraceCollision, At: 500, Node: 0, Peer: -1, Pkt: p}, "c 0.000500 A F1#42@hop0"},
 		{mac.TraceEvent{Kind: mac.TraceDrop, At: 500, Node: 0, Peer: -1, Pkt: p}, "D 0.000500 A F1#42@hop0"},
+		{mac.TraceEvent{Kind: mac.TraceCorrupt, At: 500, Node: 0, Peer: 1, Pkt: p}, "x 0.000500 A -> B F1#42@hop0"},
+		{mac.TraceEvent{Kind: mac.TraceLinkDead, At: 500, Node: 0, Peer: 1, Pkt: p}, "L 0.000500 A -> B F1#42@hop0"},
+		{mac.TraceEvent{Kind: mac.TraceReroute, At: 500, Node: 0, Peer: 1, Pkt: p}, "R 0.000500 A -> B F1#42@hop0"},
+		{mac.TraceEvent{Kind: mac.TraceSalvage, At: 500, Node: 1, Peer: 0, Pkt: p}, "v 0.000500 B -> A F1#42@hop0"},
+		{mac.TraceEvent{Kind: mac.TraceDegraded, At: 500, Node: 0, Peer: -1}, "g 0.000500 A <nil>"},
 	}
 	for _, c := range cases {
 		if got := trace.Format(c.ev, names); got != c.want {

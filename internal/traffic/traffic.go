@@ -32,6 +32,14 @@ type CBRConfig struct {
 	Until sim.Time
 	// OnSourceDrop is called when the source queue rejects a packet.
 	OnSourceDrop func(p *mac.Packet, now sim.Time)
+	// Route, when set, supplies the path for each emitted packet in
+	// place of the flow's static path — the resilience layer points it
+	// at the flow's current (possibly repaired) route. A returned
+	// path shorter than two nodes falls back to the static path.
+	Route func() []topology.NodeID
+	// OnEmit, when set, observes every emitted packet and whether the
+	// source queue accepted it, before any drop handling.
+	OnEmit func(p *mac.Packet, accepted bool, now sim.Time)
 }
 
 // StartCBR schedules a CBR source onto the engine, injecting packets
@@ -82,10 +90,19 @@ func (s *cbrSource) emit() {
 	p.Flow = s.cfg.Flow.ID()
 	p.Seq = s.seq
 	p.Path = s.path
+	if s.cfg.Route != nil {
+		if rp := s.cfg.Route(); len(rp) >= 2 {
+			p.Path = rp
+		}
+	}
 	p.PayloadBytes = s.cfg.PayloadBytes
 	p.Born = now
 	s.seq++
 	ok, err := s.medium.Inject(p)
+	accepted := err == nil && ok
+	if s.cfg.OnEmit != nil {
+		s.cfg.OnEmit(p, accepted, now)
+	}
 	if err == nil && !ok {
 		if s.cfg.OnSourceDrop != nil {
 			s.cfg.OnSourceDrop(p, now)
