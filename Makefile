@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-lp bench-mac bench-topo
+.PHONY: build test race bench bench-lp bench-alloc bench-mac bench-topo
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,13 @@ bench:
 # first phase, written to BENCH_lp.json for PR-over-PR comparison.
 bench-lp: build
 	$(GO) run ./cmd/benchtables -only lp -json BENCH_lp.json
+
+# Sharded allocation-engine perf trajectory: sequential oracle walk vs
+# 8-worker sharded fan-out on a 32-component instance, and the
+# churn-delta re-solve (solves per churn event must stay ≪ group
+# count), written to BENCH_alloc.json.
+bench-alloc: build
+	$(GO) run ./cmd/benchtables -only alloc -json BENCH_alloc.json
 
 # MAC/PHY datapath perf trajectory: full-stack simulation rate
 # (simSec/s), channel accounting, and steady-state allocations per

@@ -78,7 +78,7 @@ func (s *Section) add(label string, values map[string]float64) {
 func main() {
 	duration := flag.Float64("duration", 200, "simulated seconds for Tables II/III (paper: 1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp, mac, topo, resilience")
+	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp, alloc, mac, topo, resilience")
 	jsonPath := flag.String("json", "", "write machine-readable metrics and wall-clock timings to this file")
 	flag.Parse()
 	if err := run(*duration, *seed, *only, *jsonPath); err != nil {
@@ -95,8 +95,8 @@ func run(durationSec float64, seed int64, only, jsonPath string) error {
 		{"fig1", fig1}, {"fig2", fig2}, {"fig4", fig4}, {"fig5", fig5},
 		{"fig6", fig6}, {"tableI", tableI}, {"tableII", tableII}, {"tableIII", tableIII},
 		{"ideal", ideal}, {"transport", reliableTransport}, {"random", randomSweep},
-		{"mobility", mobilitySection}, {"lp", lpSection}, {"mac", macSection},
-		{"topo", topoSection}, {"resilience", resilienceSection},
+		{"mobility", mobilitySection}, {"lp", lpSection}, {"alloc", allocSection},
+		{"mac", macSection}, {"topo", topoSection}, {"resilience", resilienceSection},
 	}
 	report := &Report{DurationSec: durationSec, Seed: seed}
 	start := time.Now()
@@ -551,7 +551,9 @@ func tableIII(durationSec float64, seed int64, sec *Section) error {
 
 // nsPerOp times f with iteration-count calibration (≥100ms of
 // samples), mirroring the testing package's methodology. Functions
-// slower than ~2ms are timed by their first 64-iteration batch.
+// slower than ~2ms are timed by their first 64-iteration batch. The
+// calibrated batch is re-run and the best of three kept, so one noisy
+// scheduler quantum can't skew a reported comparison.
 func nsPerOp(f func() error) (float64, error) {
 	for iters := 64; ; iters *= 4 {
 		start := time.Now()
@@ -560,9 +562,23 @@ func nsPerOp(f func() error) (float64, error) {
 				return 0, err
 			}
 		}
-		if el := time.Since(start); el >= 100*time.Millisecond || iters >= 1<<22 {
-			return float64(el.Nanoseconds()) / float64(iters), nil
+		el := time.Since(start)
+		if el < 100*time.Millisecond && iters < 1<<22 {
+			continue
 		}
+		best := el
+		for rep := 0; rep < 2; rep++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := f(); err != nil {
+					return 0, err
+				}
+			}
+			if el := time.Since(start); el < best {
+				best = el
+			}
+		}
+		return float64(best.Nanoseconds()) / float64(iters), nil
 	}
 }
 
@@ -687,6 +703,166 @@ func lpSection(_ float64, _ int64, sec *Section) error {
 	}
 	sec.add("distributedParallel", map[string]float64{"nsPerOp": parNs})
 	fmt.Printf("DistributedAllocate parallel:    %10.0f ns/op  (%d workers)\n", parNs, runtime.GOMAXPROCS(0))
+	return nil
+}
+
+// allocClusteredInstances builds the sharded engine's benchmark shape:
+// `clusters` spatially separated contention components (2 km apart,
+// far beyond the 250 m range), each carrying four coupled flows with
+// rng-drawn weights, plus the post-churn variant of the same topology
+// missing cluster 0's cross flow.
+func allocClusteredInstances(clusters int, seed int64) (*core.Instance, *core.Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	b := topology.NewBuilder(topology.DefaultRange, 0)
+	type pathSpec struct {
+		id     string
+		weight float64
+		path   []string
+	}
+	var specs []pathSpec
+	for c := 0; c < clusters; c++ {
+		n := func(s string) string { return fmt.Sprintf("c%d%s", c, s) }
+		x0 := float64(c) * 2000
+		chain := []string{n("n0"), n("n1"), n("n2"), n("n3"), n("n4")}
+		for i, name := range chain {
+			b.Add(name, x0+float64(i)*200, 0)
+		}
+		b.Add(n("ta"), x0+300, 150)
+		b.Add(n("tb"), x0+500, 150)
+		b.Add(n("ba"), x0+100, -150)
+		b.Add(n("bb"), x0+300, -150)
+		b.Add(n("bc"), x0+500, -150)
+		b.Add(n("bd"), x0+700, -150)
+		w := func() float64 { return float64(1 + rng.Intn(3)) }
+		specs = append(specs,
+			pathSpec{n("F-chain"), w(), chain},
+			pathSpec{n("F-top"), w(), []string{n("ta"), n("tb")}},
+			pathSpec{n("F-bot1"), w(), []string{n("ba"), n("bb")}},
+			pathSpec{n("F-bot2"), w(), []string{n("bc"), n("bd")}},
+		)
+	}
+	topo, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	all := make([]*flow.Flow, 0, len(specs))
+	for _, sp := range specs {
+		path := make([]topology.NodeID, len(sp.path))
+		for i, name := range sp.path {
+			id, err := topo.Lookup(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			path[i] = id
+		}
+		f, err := flow.New(flow.ID(sp.id), sp.weight, path)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, f)
+	}
+	build := func(flows []*flow.Flow) (*core.Instance, error) {
+		set, err := flow.NewSet(flows...)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewInstance(topo, set)
+	}
+	instA, err := build(all)
+	if err != nil {
+		return nil, nil, err
+	}
+	kept := make([]*flow.Flow, 0, len(all)-1)
+	for _, f := range all {
+		if f.ID() != "c0F-top" {
+			kept = append(kept, f)
+		}
+	}
+	instB, err := build(kept)
+	if err != nil {
+		return nil, nil, err
+	}
+	return instA, instB, nil
+}
+
+// allocSection measures the sharded allocation engine on a 32-component
+// instance: the sequential oracle walk, the 8-worker sharded fan-out
+// (identical bits; on a single-core box it degenerates to the oracle
+// plus striping overhead), and the churn-delta path — one flow leaves,
+// only its component re-solves, everything else copies cached shares.
+// Emitted to BENCH_alloc.json by `make bench-alloc`.
+func allocSection(_ float64, seed int64, sec *Section) error {
+	fmt.Println("== Sharded allocation engine ==")
+	const clusters = 32
+	instA, instB, err := allocClusteredInstances(clusters, seed)
+	if err != nil {
+		return err
+	}
+	opts := core.CentralizedOptions{Refine: true}
+
+	seqAlloc := core.NewAllocatorWorkers(1)
+	seqNs, err := nsPerOp(func() error {
+		seqAlloc.ResetCache()
+		_, err := seqAlloc.Centralized(instA, opts)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	sec.add("centralizedSequential", map[string]float64{"nsPerOp": seqNs, "groups": clusters})
+	fmt.Printf("centralized sequential walk:     %10.0f ns/op  (%d groups)\n", seqNs, clusters)
+
+	const shardWorkers = 8
+	parAlloc := core.NewAllocatorWorkers(shardWorkers)
+	parNs, err := nsPerOp(func() error {
+		parAlloc.ResetCache()
+		_, err := parAlloc.Centralized(instA, opts)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	sec.add("centralizedSharded", map[string]float64{"nsPerOp": parNs, "workers": shardWorkers})
+	fmt.Printf("centralized sharded fan-out:     %10.0f ns/op  (%d workers on %d CPUs)\n",
+		parNs, shardWorkers, runtime.GOMAXPROCS(0))
+
+	// Churn delta: re-warm on the pre-churn instance off the clock so
+	// every timed solve is exactly one churn event on a warm allocator.
+	churnAlloc := core.NewAllocatorWorkers(1)
+	const churnIters = 200
+	var churnNs float64
+	var solved, reused, groups int
+	for i := 0; i < churnIters; i++ {
+		churnAlloc.ResetCache()
+		if _, err := churnAlloc.Centralized(instA, opts); err != nil {
+			return err
+		}
+		start := time.Now()
+		_, delta, err := churnAlloc.CentralizedDelta(instB, opts)
+		if err != nil {
+			return err
+		}
+		churnNs += float64(time.Since(start).Nanoseconds())
+		solved += delta.Solved
+		reused += delta.Reused
+		groups += delta.Groups
+	}
+	churnNs /= churnIters
+	solvesPerEvent := float64(solved) / churnIters
+	groupsPerEvent := float64(groups) / churnIters
+	reduction := math.Inf(1)
+	if solvesPerEvent > 0 {
+		reduction = groupsPerEvent / solvesPerEvent
+	}
+	sec.add("churnDelta", map[string]float64{
+		"nsPerOp":        churnNs,
+		"solvesPerEvent": solvesPerEvent,
+		"reusedPerEvent": float64(reused) / churnIters,
+		"groupsPerEvent": groupsPerEvent,
+		"solveReduction": reduction,
+	})
+	fmt.Printf("churn-delta re-solve:            %10.0f ns/op  (%.1f of %.0f group LPs solved, %.0fx fewer)\n",
+		churnNs, solvesPerEvent, groupsPerEvent, reduction)
 	return nil
 }
 

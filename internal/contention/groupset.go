@@ -1,0 +1,219 @@
+package contention
+
+import (
+	"slices"
+
+	"e2efair/internal/flow"
+)
+
+// FlowGroupSet is a reusable partition of a graph's flows into
+// contending flow groups: the same partition FlowGroups returns, held
+// as one flat flow-ID list plus group offsets so that repeated builds
+// (churn re-solves, mobility epochs) reuse every buffer and map. After
+// the first build on a graph of a given size, AppendFlowGroups
+// allocates nothing.
+//
+// Alongside the membership, each group carries a stable FNV-1a
+// fingerprint of its sorted member IDs (in the style of
+// topology.AdjacencyFingerprint): two groups fingerprint equal exactly
+// when — hash collisions aside — their flow memberships are equal,
+// which is the fast "did churn touch this component?" test the
+// allocation layer's delta cache keys off.
+type FlowGroupSet struct {
+	ids  []flow.ID // member IDs, group by group, each group sorted
+	offs []int     // group g = ids[offs[g]:offs[g+1]]; len = Len()+1
+	fps  []uint64  // per-group membership fingerprints
+
+	// Scratch reused across builds.
+	slot    map[flow.ID]int32 // flow ID → dense slot, first-appearance order
+	order   []flow.ID         // slot → flow ID
+	parent  []int32           // union-find over slots
+	groupAt []int32           // root slot → group index
+	counts  []int32
+	nbr     []int
+	perm    []int
+	flat    []flow.ID
+}
+
+// Len returns the number of groups in the last build.
+func (gs *FlowGroupSet) Len() int {
+	if len(gs.offs) == 0 {
+		return 0
+	}
+	return len(gs.offs) - 1
+}
+
+// Group returns group g's member flow IDs, sorted ascending. The slice
+// aliases the set's internal storage and is valid until the next build.
+func (gs *FlowGroupSet) Group(g int) []flow.ID {
+	return gs.ids[gs.offs[g]:gs.offs[g+1]]
+}
+
+// Fingerprint returns group g's membership fingerprint: FNV-1a over
+// the sorted member IDs.
+func (gs *FlowGroupSet) Fingerprint(g int) uint64 { return gs.fps[g] }
+
+// FNV-1a constants, matching topology's adjacency fingerprint.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// AppendFlowGroups rebuilds gs as the graph's contending-flow-group
+// partition. Group membership, member order and group order are
+// identical to FlowGroups — groups ordered by first (smallest) member,
+// members sorted ascending — with FlowGroups retained as the reference
+// oracle pinned by the cross-check tests.
+func (g *Graph) AppendFlowGroups(gs *FlowGroupSet) {
+	// Dense slots in first-appearance order over the subflow list;
+	// every flow gets a slot even when its subflows have no contention
+	// edges (single-hop flows trivially form their own group).
+	if gs.slot == nil {
+		gs.slot = make(map[flow.ID]int32, len(g.subflows))
+	} else {
+		clear(gs.slot)
+	}
+	gs.order = gs.order[:0]
+	gs.parent = gs.parent[:0]
+	for i := range g.subflows {
+		id := g.subflows[i].ID.Flow
+		if _, ok := gs.slot[id]; !ok {
+			gs.slot[id] = int32(len(gs.order))
+			gs.order = append(gs.order, id)
+			gs.parent = append(gs.parent, int32(len(gs.parent)))
+		}
+	}
+	k := len(gs.order)
+
+	find := func(x int32) int32 {
+		for gs.parent[x] != x {
+			gs.parent[x] = gs.parent[gs.parent[x]]
+			x = gs.parent[x]
+		}
+		return x
+	}
+	for i := 0; i < len(g.subflows); i++ {
+		gs.nbr = g.rows[i].appendMembers(gs.nbr[:0])
+		fi := gs.slot[g.subflows[i].ID.Flow]
+		for _, j := range gs.nbr {
+			if j <= i {
+				continue
+			}
+			ra, rb := find(fi), find(gs.slot[g.subflows[j].ID.Flow])
+			if ra != rb {
+				gs.parent[ra] = rb
+			}
+		}
+	}
+
+	// Group indices in root-first-appearance order, then member counts
+	// and offsets, then a fill pass: the flat ID list ends up grouped,
+	// members in slot (flow first-appearance) order.
+	gs.groupAt = grow32(gs.groupAt, k)
+	gs.counts = grow32(gs.counts, k)
+	for s := range gs.groupAt {
+		gs.groupAt[s] = -1
+		gs.counts[s] = 0
+	}
+	ngroups := 0
+	for s := int32(0); int(s) < k; s++ {
+		r := find(s)
+		if gs.groupAt[r] < 0 {
+			gs.groupAt[r] = int32(ngroups)
+			ngroups++
+		}
+		gs.counts[gs.groupAt[r]]++
+	}
+	if cap(gs.offs) < ngroups+1 {
+		gs.offs = make([]int, ngroups+1)
+	}
+	gs.offs = gs.offs[:ngroups+1]
+	gs.offs[0] = 0
+	for gi := 0; gi < ngroups; gi++ {
+		gs.offs[gi+1] = gs.offs[gi] + int(gs.counts[gi])
+	}
+	gs.flat = growIDs(gs.flat, k)
+	next := gs.counts[:ngroups]
+	for gi := range next {
+		next[gi] = int32(gs.offs[gi])
+	}
+	for s := int32(0); int(s) < k; s++ {
+		gi := gs.groupAt[find(s)]
+		gs.flat[next[gi]] = gs.order[s]
+		next[gi]++
+	}
+
+	// Sort members, order groups by first member, and emit into gs.ids
+	// with fingerprints.
+	for gi := 0; gi < ngroups; gi++ {
+		slices.Sort(gs.flat[gs.offs[gi]:gs.offs[gi+1]])
+	}
+	gs.perm = growInts(gs.perm, ngroups)
+	for gi := range gs.perm {
+		gs.perm[gi] = gi
+	}
+	slices.SortFunc(gs.perm, func(a, b int) int {
+		fa, fb := gs.flat[gs.offs[a]], gs.flat[gs.offs[b]]
+		if fa < fb {
+			return -1
+		}
+		if fa > fb {
+			return 1
+		}
+		return 0
+	})
+	gs.ids = growIDs(gs.ids, k)
+	if cap(gs.fps) < ngroups {
+		gs.fps = make([]uint64, ngroups)
+	}
+	gs.fps = gs.fps[:ngroups]
+	w := 0
+	for out, gi := range gs.perm {
+		members := gs.flat[gs.offs[gi]:gs.offs[gi+1]]
+		h := fnvOffset
+		for _, id := range members {
+			h = fnvString(h, string(id))
+			h = (h ^ 0xFF) * fnvPrime // member separator
+		}
+		gs.fps[out] = h
+		gs.counts[out] = int32(len(members)) // emitted-order sizes
+		w += copy(gs.ids[w:], members)
+	}
+	// Rewrite offsets in emitted order from the recorded sizes (offs
+	// cannot be rewritten in place while perm still reads it).
+	off := 0
+	for out := 0; out < ngroups; out++ {
+		n := int(gs.counts[out])
+		gs.offs[out] = off
+		off += n
+	}
+	gs.offs[ngroups] = off
+}
+
+func grow32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growIDs(buf []flow.ID, n int) []flow.ID {
+	if cap(buf) < n {
+		return make([]flow.ID, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,114 @@
+package contention
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"e2efair/internal/flow"
+)
+
+// randomFlowGraph builds a synthetic contention graph over nf flows of
+// 1–3 subflows each with random edges, the shape AppendFlowGroups must
+// partition exactly like FlowGroups.
+func randomFlowGraph(t *testing.T, rng *rand.Rand, nf int) *Graph {
+	t.Helper()
+	var subs []flow.Subflow
+	for f := 0; f < nf; f++ {
+		hops := 1 + rng.Intn(3)
+		for h := 0; h < hops; h++ {
+			subs = append(subs, flow.Subflow{
+				ID:  flow.SubflowID{Flow: flow.ID(fmt.Sprintf("F%d", f)), Hop: h},
+				Src: 0, Dst: 1,
+			})
+		}
+	}
+	var edges [][2]int
+	for i := 0; i < len(subs); i++ {
+		for j := i + 1; j < len(subs); j++ {
+			if rng.Float64() < 0.08 {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	g, err := NewGraphFromEdges(subs, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestAppendFlowGroupsMatchesFlowGroups pins AppendFlowGroups to the
+// retained FlowGroups reference: identical group membership, member
+// order and group order, across random graphs and with one reused
+// FlowGroupSet so scratch reuse cannot leak one graph's partition into
+// another's.
+func TestAppendFlowGroupsMatchesFlowGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var gs FlowGroupSet
+	for trial := 0; trial < 200; trial++ {
+		g := randomFlowGraph(t, rng, 1+rng.Intn(20))
+		want := g.FlowGroups()
+		g.AppendFlowGroups(&gs)
+		if gs.Len() != len(want) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, gs.Len(), len(want))
+		}
+		for gi := range want {
+			got := gs.Group(gi)
+			if len(got) != len(want[gi]) {
+				t.Fatalf("trial %d group %d: %v, want %v", trial, gi, got, want[gi])
+			}
+			for k := range got {
+				if got[k] != want[gi][k] {
+					t.Fatalf("trial %d group %d: %v, want %v", trial, gi, got, want[gi])
+				}
+			}
+		}
+	}
+}
+
+// TestGroupFingerprintStability checks the membership fingerprint is a
+// pure function of the sorted member IDs: equal groups fingerprint
+// equal across distinct graphs, and distinct memberships differ.
+func TestGroupFingerprintStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	byMembers := make(map[string]uint64)
+	var gs FlowGroupSet
+	for trial := 0; trial < 100; trial++ {
+		g := randomFlowGraph(t, rng, 1+rng.Intn(12))
+		g.AppendFlowGroups(&gs)
+		for gi := 0; gi < gs.Len(); gi++ {
+			key := fmt.Sprint(gs.Group(gi))
+			fp := gs.Fingerprint(gi)
+			if prev, ok := byMembers[key]; ok {
+				if prev != fp {
+					t.Fatalf("membership %s fingerprinted %x then %x", key, prev, fp)
+				}
+			} else {
+				byMembers[key] = fp
+			}
+		}
+	}
+	seen := make(map[uint64]string)
+	for key, fp := range byMembers {
+		if other, ok := seen[fp]; ok {
+			t.Fatalf("fingerprint collision between %s and %s", key, other)
+		}
+		seen[fp] = key
+	}
+}
+
+// TestAppendFlowGroupsZeroAlloc demands the rebuild allocate nothing
+// once the scratch has grown to fit.
+func TestAppendFlowGroupsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomFlowGraph(t, rng, 30)
+	var gs FlowGroupSet
+	g.AppendFlowGroups(&gs) // grow scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		g.AppendFlowGroups(&gs)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendFlowGroups allocates %.1f per rebuild, want 0", allocs)
+	}
+}

@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
-	"e2efair/internal/flow"
 	"e2efair/internal/lp"
 )
 
@@ -14,6 +14,21 @@ type CentralizedOptions struct {
 	// (B/3, B/3, 2B/3, B/8, 3B/4)) correspond to the refined vertex;
 	// without refinement any optimal vertex may be returned.
 	Refine bool
+}
+
+// Delta reports how much allocation work one centralized solve
+// actually did: of the instance's contending flow groups, how many
+// group LPs were solved fresh and how many were satisfied from the
+// Allocator's share cache. A churn event that perturbs one contention
+// component shows Solved equal to the number of changed components and
+// Reused equal to the rest.
+type Delta struct {
+	// Groups is the number of contending flow groups in the instance.
+	Groups int
+	// Solved counts groups whose LPs were solved on this call.
+	Solved int
+	// Reused counts groups whose shares were copied from the cache.
+	Reused int
 }
 
 // CentralizedAllocate solves the paper's linear program (Sec. III-B,
@@ -29,91 +44,147 @@ type CentralizedOptions struct {
 // and matches the solutions tabulated in the paper.
 //
 // Each call builds fresh solver state; hold an Allocator and call its
-// Centralized method to reuse tableau scratch and warm-start repeated
-// allocations (churn re-solves, sweeps).
+// Centralized method to shard group LPs across workers, reuse tableau
+// scratch, and serve repeated group structures from the share cache
+// (churn re-solves, sweeps).
 func CentralizedAllocate(inst *Instance, opts CentralizedOptions) (FlowAllocation, error) {
 	return NewAllocatorWorkers(1).Centralized(inst, opts)
 }
 
 // Centralized is CentralizedAllocate on this Allocator's reusable
-// solver state. Group LPs seen before (identical clique rows and basic
-// floors) warm-start from their previous optimal basis.
+// solver state. The instance's contending flow groups decompose the LP
+// exactly (distinct groups share no constraint), so group LPs are
+// independent: groups missing from the share cache are sharded across
+// the Allocator's worker sessions, each worker solving on its own
+// tableau scratch, and results are merged in group order. Every group
+// solve is a pure function of the group's LP, so the output is
+// bit-identical whatever the worker count, and bit-identical to the
+// retained sequential walk (workers = 1), which the property tests pin
+// as the cross-check oracle.
 func (a *Allocator) Centralized(inst *Instance, opts CentralizedOptions) (FlowAllocation, error) {
-	out := make(FlowAllocation, inst.Flows.Len())
-	s := a.sessions[0]
-	for _, g := range inst.groups() {
-		alloc, err := s.solveGroup(g, opts.Refine)
-		if err != nil {
-			return nil, err
+	out, _, err := a.centralized(inst, opts)
+	return out, err
+}
+
+// CentralizedDelta is Centralized plus a Delta describing how many
+// group LPs the call solved versus served from the share cache. The
+// dynamic layers (netsim.RunDynamic, mobility churn, the resilient
+// path's re-solve-on-reroute) call this seam so that an event touching
+// one contention component pays for one group solve, not a full
+// re-solve.
+func (a *Allocator) CentralizedDelta(inst *Instance, opts CentralizedOptions) (FlowAllocation, Delta, error) {
+	return a.centralized(inst, opts)
+}
+
+func (a *Allocator) centralized(inst *Instance, opts CentralizedOptions) (FlowAllocation, Delta, error) {
+	groups := inst.groups()
+	delta := Delta{Groups: len(groups)}
+	shares := make([][]float64, len(groups))
+	a.pending = a.pending[:0]
+	for gi, g := range groups {
+		if x, ok := a.groupCache[groupCacheKey{g.key, opts.Refine}]; ok {
+			shares[gi] = x
+			delta.Reused++
+			continue
 		}
-		for id, r := range alloc {
-			out[id] = r
+		a.pending = append(a.pending, gi)
+	}
+	if err := a.solveGroups(groups, a.pending, shares, opts.Refine); err != nil {
+		return nil, Delta{}, err
+	}
+	delta.Solved = len(a.pending)
+	if len(a.groupCache)+len(a.pending) > maxCachedGroups {
+		clear(a.groupCache)
+	}
+	for _, gi := range a.pending {
+		a.groupCache[groupCacheKey{groups[gi].key, opts.Refine}] = shares[gi]
+	}
+	out := make(FlowAllocation, inst.Flows.Len())
+	for gi, g := range groups {
+		x := shares[gi]
+		for i, id := range g.ids {
+			out[id] = x[i]
 		}
 	}
-	return out, nil
+	return out, delta, nil
+}
+
+// shardMinGroups is the work-size cutoff below which the sharded path
+// stays sequential: fanning goroutines out for a handful of small LPs
+// costs more than the solves themselves (the same effect the
+// distributed path's per-worker node batching addresses).
+const shardMinGroups = 4
+
+// solveGroups solves the pending groups, writing each owned share
+// vector into shares at its group index. Groups are assigned to
+// workers round-robin in pending order, results are index-addressed,
+// and on error the lowest-indexed failing group wins — so shares,
+// error, everything is independent of worker count and scheduling.
+func (a *Allocator) solveGroups(groups []*group, pending []int, shares [][]float64, refine bool) error {
+	workers := a.workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers <= 1 || len(pending) < shardMinGroups {
+		s := a.sessions[0]
+		for _, gi := range pending {
+			x, err := s.solveGroup(groups[gi], refine)
+			if err != nil {
+				return err
+			}
+			shares[gi] = x
+		}
+		return nil
+	}
+	errs := make([]error, len(pending))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := a.sessions[w]
+			for k := w; k < len(pending); k += workers {
+				gi := pending[k]
+				x, err := s.solveGroup(groups[gi], refine)
+				if err != nil {
+					errs[k] = err
+					continue
+				}
+				shares[gi] = x
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // solveGroup solves one contending flow group's LP with B normalized
-// to 1.
-func (s *session) solveGroup(g *group, refine bool) (FlowAllocation, error) {
-	ids := g.flowIDs()
-	n := len(ids)
-	idx := make(map[flow.ID]int, n)
-	for i, id := range ids {
-		idx[id] = i
-	}
-	rows := cliqueRows(g, idx)
-	basic := make([]float64, n)
-	weights := make([]float64, n)
-	for i, id := range ids {
-		basic[i] = g.basic[id]
-		weights[i] = g.weights[id]
-	}
-
-	x, obj, err := s.maximizeTotalCached(rows, basic)
+// to 1 and returns an owned share vector in group index order. It is a
+// pure function of (rows, basic, weights, refine): it never consults
+// caches or other cross-solve state, so any session computes
+// bit-identical output — the property the sharded fan-out and the
+// share cache both rest on.
+func (s *session) solveGroup(g *group, refine bool) ([]float64, error) {
+	x, obj, err := s.maximizeTotal(g.rows, g.basic)
 	if err != nil {
 		return nil, fmt.Errorf("core: centralized allocation: %w", err)
 	}
 	if refine {
-		x, err = s.refineMaxMin(rows, basic, weights, obj)
+		x, err = s.refineMaxMin(g.rows, g.basic, g.weights, obj)
 		if err != nil {
 			return nil, fmt.Errorf("core: max-min refinement: %w", err)
 		}
+		return x, nil
 	}
-	alloc := make(FlowAllocation, n)
-	for i, id := range ids {
-		alloc[id] = x[i]
-	}
-	return alloc, nil
-}
-
-// cliqueRows converts the group's cliques into LP coefficient rows
-// over the given variable indexing, dropping duplicate rows.
-func cliqueRows(g *group, idx map[flow.ID]int) [][]float64 {
-	n := len(idx)
-	var rows [][]float64
-	seen := make(map[string]bool)
-	for _, counts := range g.counts {
-		row := make([]float64, n)
-		for id, cnt := range counts {
-			row[idx[id]] = float64(cnt)
-		}
-		key := rowKey(row)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		rows = append(rows, row)
-	}
-	return rows
-}
-
-func rowKey(row []float64) string {
-	key := make([]byte, 0, len(row)*4)
-	for _, v := range row {
-		key = append(key, fmt.Sprintf("%g,", v)...)
-	}
-	return string(key)
+	// maximizeTotal returns the session's solution scratch; copy out.
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out, nil
 }
 
 // refinement tolerances: optTol is the slack allowed on the optimal

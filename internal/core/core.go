@@ -9,9 +9,12 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 
 	"e2efair/internal/contention"
 	"e2efair/internal/flow"
@@ -28,11 +31,21 @@ var (
 
 // Instance is an allocation problem: a topology, a set of multi-hop
 // flows over it, and the derived contention structure.
+//
+// An Instance is immutable after construction; the group partition the
+// allocation algorithms walk is derived lazily once and memoized, so
+// repeated allocations over one instance (churn re-solves on an
+// instance-cache hit, strategy comparisons) never rebuild it. Use the
+// New* constructors; the zero groupsOnce of a literal construction is
+// also valid.
 type Instance struct {
 	Topo    *topology.Topology
 	Flows   *flow.Set
 	Graph   *contention.Graph
 	Cliques []contention.Clique
+
+	groupsOnce sync.Once
+	groupsVal  []*group
 }
 
 // NewInstance validates the flows against the topology (every hop a
@@ -129,30 +142,55 @@ func (a FlowAllocation) Uniform(flows *flow.Set) SubflowAllocation {
 	return out
 }
 
-// group is one contending flow group with its local clique structure.
+// group is one contending flow group with its local clique structure,
+// flattened to LP-ready slices: ids orders the group's flows (instance
+// insertion order), and basic, weights and the deduplicated clique
+// rows are aligned with it. key serializes the exact bits of the
+// group's LP — clique rows, basic floors, weights — and is what the
+// Allocator's churn-delta share cache is keyed by: equal keys imply
+// identical LPs and therefore identical solutions. fp is the FNV-1a
+// membership fingerprint from the contention layer, kept for
+// observability.
 type group struct {
-	flows   []*flow.Flow        // insertion order
-	cliques []contention.Clique // cliques whose subflows all belong to the group
-	counts  []map[flow.ID]int   // per-clique n_{i,k}
-	weights map[flow.ID]float64 // w_i
-	basic   map[flow.ID]float64 // basic share w_i/Σ w_j v_j within the group
+	flows   []*flow.Flow // insertion order
+	ids     []flow.ID    // flow IDs aligned with flows
+	idx     map[flow.ID]int
+	rows    [][]float64 // deduplicated clique rows n_{i,k} over idx
+	basic   []float64   // basic share w_i/Σ w_j v_j within the group
+	weights []float64   // w_i
+	key     string
+	fp      uint64
 }
 
-// groups partitions the instance into contending flow groups and
-// attaches each group's cliques and basic shares.
+// groupScratch pools the contention-layer partition scratch reused by
+// instance group builds.
+var groupScratch = sync.Pool{New: func() any { return new(contention.FlowGroupSet) }}
+
+// groups returns the instance's contending flow groups with their
+// clique rows and basic shares, built once and memoized: every
+// allocation strategy and every repeated solve over this instance
+// shares one partition instead of rebuilding maps per call.
 func (inst *Instance) groups() []*group {
-	idGroups := inst.Graph.FlowGroups()
-	groupOf := make(map[flow.ID]int)
-	for gi, ids := range idGroups {
-		for _, id := range ids {
-			groupOf[id] = gi
+	inst.groupsOnce.Do(func() { inst.groupsVal = inst.buildGroups() })
+	return inst.groupsVal
+}
+
+func (inst *Instance) buildGroups() []*group {
+	gs := groupScratch.Get().(*contention.FlowGroupSet)
+	defer groupScratch.Put(gs)
+	inst.Graph.AppendFlowGroups(gs)
+	groupOf := make(map[flow.ID]int, inst.Flows.Len())
+	out := make([]*group, gs.Len())
+	for gi := range out {
+		members := gs.Group(gi)
+		out[gi] = &group{
+			flows: make([]*flow.Flow, 0, len(members)),
+			ids:   make([]flow.ID, 0, len(members)),
+			idx:   make(map[flow.ID]int, len(members)),
+			fp:    gs.Fingerprint(gi),
 		}
-	}
-	out := make([]*group, len(idGroups))
-	for i := range out {
-		out[i] = &group{
-			weights: make(map[flow.ID]float64),
-			basic:   make(map[flow.ID]float64),
+		for _, id := range members {
+			groupOf[id] = gi
 		}
 	}
 	for _, f := range inst.Flows.Flows() {
@@ -160,28 +198,55 @@ func (inst *Instance) groups() []*group {
 		if !ok {
 			continue // flow absent from the graph (no subflows); skip
 		}
-		out[gi].flows = append(out[gi].flows, f)
-		out[gi].weights[f.ID()] = f.Weight()
+		g := out[gi]
+		g.idx[f.ID()] = len(g.flows)
+		g.flows = append(g.flows, f)
+		g.ids = append(g.ids, f.ID())
 	}
+	for gi := range out {
+		g := out[gi]
+		g.basic = make([]float64, len(g.flows))
+		g.weights = make([]float64, len(g.flows))
+		var denom float64
+		for _, f := range g.flows {
+			denom += f.Weight() * float64(f.VirtualLength())
+		}
+		for i, f := range g.flows {
+			g.weights[i] = f.Weight()
+			if denom > 0 {
+				g.basic[i] = f.Weight() / denom
+			}
+		}
+	}
+	// Clique rows, deduplicated per group in instance clique order.
+	// Distinct cliques over the same flows with the same counts yield
+	// one identical constraint row; keeping one copy leaves the LP
+	// unchanged. The dedup key is prefixed with the group index so
+	// separate groups that share row bytes keep their own rows.
+	seen := make(map[string]bool)
+	var keyBuf []byte
 	for _, c := range inst.Cliques {
 		if len(c) == 0 {
 			continue
 		}
 		fid := inst.Graph.Subflow(c[0]).ID.Flow
 		gi := groupOf[fid]
-		out[gi].cliques = append(out[gi].cliques, c)
-		out[gi].counts = append(out[gi].counts, inst.Graph.CliqueFlowCounts(c))
+		g := out[gi]
+		row := make([]float64, len(g.flows))
+		for id, cnt := range inst.Graph.CliqueFlowCounts(c) {
+			row[g.idx[id]] = float64(cnt)
+		}
+		keyBuf = binary.LittleEndian.AppendUint64(keyBuf[:0], uint64(gi))
+		keyBuf = appendFloats(keyBuf, row)
+		key := string(keyBuf)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		g.rows = append(g.rows, row)
 	}
 	for _, g := range out {
-		var denom float64
-		for _, f := range g.flows {
-			denom += f.Weight() * float64(f.VirtualLength())
-		}
-		for _, f := range g.flows {
-			if denom > 0 {
-				g.basic[f.ID()] = f.Weight() / denom
-			}
-		}
+		g.key = groupLPKey(g.rows, g.basic, g.weights)
 	}
 	// Keep only non-empty groups (defensive; graph groups always have
 	// at least one flow).
@@ -194,14 +259,39 @@ func (inst *Instance) groups() []*group {
 	return filtered
 }
 
+// appendFloats serializes the exact bits of xs onto buf.
+func appendFloats(buf []byte, xs []float64) []byte {
+	for _, v := range xs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// groupLPKey serializes the exact bits of a group LP — clique rows,
+// basic floors, weights — so that equal keys imply bit-identical
+// programs. Flow IDs are deliberately excluded: the solution vector is
+// positional, so isomorphic groups (same structure, renamed flows)
+// share one cache entry.
+func groupLPKey(rows [][]float64, basic, weights []float64) string {
+	buf := make([]byte, 0, 8*(2+len(basic)+len(weights)+len(rows)*(1+len(basic))))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(rows)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(basic)))
+	for _, r := range rows {
+		buf = appendFloats(buf, r)
+	}
+	buf = appendFloats(buf, basic)
+	buf = appendFloats(buf, weights)
+	return string(buf)
+}
+
 // BasicShares returns each flow's basic share
 // r̂_i = w_i / Σ_j w_j·v_j computed within its contending flow group
 // (Sec. II-D).
 func BasicShares(inst *Instance) FlowAllocation {
 	out := make(FlowAllocation, inst.Flows.Len())
 	for _, g := range inst.groups() {
-		for id, b := range g.basic {
-			out[id] = b
+		for i, id := range g.ids {
+			out[id] = g.basic[i]
 		}
 	}
 	return out
@@ -247,13 +337,14 @@ func FairnessConstrained(inst *Instance) FlowAllocation {
 }
 
 // weightedCliqueNumber computes ω_Ω over the group's cliques using
-// flow weights: Σ_i n_{i,k}·w_i maximized over k.
+// flow weights: Σ_i n_{i,k}·w_i maximized over k. Row deduplication
+// only drops identical rows, so the maximum is unchanged.
 func (g *group) weightedCliqueNumber() float64 {
 	var best float64
-	for _, counts := range g.counts {
+	for _, row := range g.rows {
 		var size float64
-		for id, n := range counts {
-			size += float64(n) * g.weights[id]
+		for i, n := range row {
+			size += n * g.weights[i]
 		}
 		if size > best {
 			best = size
@@ -278,16 +369,6 @@ func UpperBoundTotal(inst *Instance) float64 {
 		total += wsum / omega
 	}
 	return total
-}
-
-// sortedFlowIDs returns the group's flow IDs in instance insertion
-// order (the order of g.flows).
-func (g *group) flowIDs() []flow.ID {
-	ids := make([]flow.ID, len(g.flows))
-	for i, f := range g.flows {
-		ids[i] = f.ID()
-	}
-	return ids
 }
 
 // sortIDs sorts flow IDs lexicographically; used for deterministic

@@ -127,9 +127,14 @@ func (a *Allocator) Distributed(inst *Instance) (*DistributedResult, error) {
 	}
 	locals := make([]*LocalProblem, len(nodes))
 	errs := make([]error, len(nodes))
+	// Work-size cutoff and per-worker batching: each worker must have at
+	// least distMinNodesPerWorker node LPs before another goroutine is
+	// worth its fan-out cost. Small instances (the paper's worked
+	// examples are a handful of nodes) therefore run sequentially, where
+	// the parallel path used to lose to goroutine overhead.
 	workers := a.workers
-	if workers > len(nodes) {
-		workers = len(nodes)
+	if max := (len(nodes) + distMinNodesPerWorker - 1) / distMinNodesPerWorker; workers > max {
+		workers = max
 	}
 	if workers <= 1 {
 		sess := a.sessions[0]
@@ -169,6 +174,15 @@ func (a *Allocator) Distributed(inst *Instance) (*DistributedResult, error) {
 	}
 	sort.Slice(res.Locals, func(a, b int) bool { return res.Locals[a].Node < res.Locals[b].Node })
 	return res, nil
+}
+
+// distMinNodesPerWorker is the minimum per-worker batch of node LPs
+// before the distributed solve adds another worker goroutine.
+const distMinNodesPerWorker = 8
+
+// rowKey serializes one LP coefficient row for duplicate detection.
+func rowKey(row []float64) string {
+	return string(appendFloats(make([]byte, 0, 8*len(row)), row))
 }
 
 func (inst *Instance) nodeName(id topology.NodeID) string {

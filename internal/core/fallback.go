@@ -27,11 +27,21 @@ func DegradableLPError(err error) bool {
 // (Sec. II-D) — always feasible, always fair, never aborting a run.
 // The boolean reports whether the fallback was taken.
 func (a *Allocator) GracefulCentralized(inst *Instance, opts CentralizedOptions) (FlowAllocation, bool, error) {
-	alloc, err := a.Centralized(inst, opts)
+	alloc, _, degraded, err := a.GracefulCentralizedDelta(inst, opts)
+	return alloc, degraded, err
+}
+
+// GracefulCentralizedDelta is GracefulCentralized plus the Delta of
+// CentralizedDelta, so re-solve-on-reroute paths can report how many
+// group LPs each repair actually cost. A degraded (or failed) solve
+// reports a zero Delta.
+func (a *Allocator) GracefulCentralizedDelta(inst *Instance, opts CentralizedOptions) (FlowAllocation, Delta, bool, error) {
+	alloc, d, err := a.CentralizedDelta(inst, opts)
 	if err == nil {
-		return alloc, false, nil
+		return alloc, d, false, nil
 	}
-	return degrade(inst, err)
+	alloc, degraded, err := degrade(inst, err)
+	return alloc, Delta{}, degraded, err
 }
 
 // GracefulDistributed is Distributed with the same degradation rule as

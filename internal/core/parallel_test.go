@@ -54,8 +54,8 @@ func TestDistributedParallelBitIdentical(t *testing.T) {
 
 // TestAllocatorReuseAcrossInstances exercises the churn pattern: one
 // Allocator solving many different instances back to back, each result
-// checked against a fresh-state computation. Warm-start caching must
-// never leak one instance's answer into another's.
+// checked against a fresh-state computation. The group share cache
+// must never leak one instance's answer into another's.
 func TestAllocatorReuseAcrossInstances(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	a := core.NewAllocatorWorkers(4)
@@ -67,7 +67,7 @@ func TestAllocatorReuseAcrossInstances(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Re-solving the same instance twice on the reused allocator
-		// hits the warm-start cache on the second pass.
+		// hits the group share cache on the second pass.
 		for pass := 0; pass < 2; pass++ {
 			got, err := a.Centralized(sc.Inst, core.CentralizedOptions{Refine: true})
 			if err != nil {

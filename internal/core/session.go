@@ -1,8 +1,6 @@
 package core
 
 import (
-	"encoding/binary"
-	"math"
 	"runtime"
 
 	"e2efair/internal/lp"
@@ -11,8 +9,7 @@ import (
 // session bundles one reusable lp.Solver with the scratch it needs to
 // run the phase-1 algorithms without per-solve allocation churn: a
 // reusable Solution, a basis buffer for warm-chained probe sequences,
-// a copy buffer for the floor LP's consistent optimal point, and a
-// warm-start cache of previously solved total-throughput LPs.
+// and a copy buffer for the floor LP's consistent optimal point.
 //
 // A session is not safe for concurrent use; Allocator gives each
 // worker its own.
@@ -21,50 +18,10 @@ type session struct {
 	sol    lp.Solution
 	basis  []int
 	point  []float64
-	cache  map[string]*cachedLP
-	key    []byte
-}
-
-// cachedLP is a previously built total-throughput LP together with its
-// last optimal basis. Re-solving the identical program warm-starts
-// from that basis, which re-prices in one pass instead of running
-// phase 1 from scratch.
-type cachedLP struct {
-	prob  *lp.Problem
-	basis []int
 }
 
 func newSession() *session {
-	return &session{solver: lp.NewSolver(), cache: make(map[string]*cachedLP)}
-}
-
-// maxCachedProblems bounds the per-session warm-start cache; dynamic
-// simulations revisit a small set of group structures, so the bound
-// exists only to keep adversarial churn from growing memory without
-// limit.
-const maxCachedProblems = 256
-
-// fingerprint serializes the exact bits of a total-throughput LP
-// (clique rows + basic floors) into the session's reused key buffer.
-// Equal fingerprints imply identical programs.
-func (s *session) fingerprint(rows [][]float64, basic []float64) string {
-	key := s.key[:0]
-	var b [8]byte
-	put := func(v float64) {
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-		key = append(key, b[:]...)
-	}
-	put(float64(len(rows)))
-	for _, r := range rows {
-		for _, v := range r {
-			put(v)
-		}
-	}
-	for _, v := range basic {
-		put(v)
-	}
-	s.key = key
-	return string(key)
+	return &session{solver: lp.NewSolver()}
 }
 
 // buildTotalProblem constructs max Σ x_i subject to rows·x ≤ 1 and
@@ -122,49 +79,49 @@ func (s *session) maximizeTotal(rows [][]float64, basic []float64) ([]float64, f
 	return x, obj, nil
 }
 
-// maximizeTotalCached is maximizeTotal through the session's
-// warm-start cache: a program already seen (bit-identical rows and
-// floors) re-solves from its previous optimal basis. Used only on the
-// centralized path — the distributed path must stay a pure function of
-// each node's LP so that parallel and sequential runs are bit-identical
-// regardless of which worker solves which node.
-func (s *session) maximizeTotalCached(rows [][]float64, basic []float64) ([]float64, float64, error) {
-	k := s.fingerprint(rows, basic)
-	if c, ok := s.cache[k]; ok {
-		if err := s.solver.SolveFromInto(c.prob, c.basis, &s.sol); err != nil {
-			return nil, 0, err
-		}
-		c.basis = s.solver.AppendBasis(c.basis[:0])
-		x, obj := s.unshiftTotal(basic)
-		return x, obj, nil
-	}
-	p, err := buildTotalProblem(rows, basic)
-	if err != nil {
-		return nil, 0, err
-	}
-	if err := s.solver.SolveInto(p, &s.sol); err != nil {
-		return nil, 0, err
-	}
-	if len(s.cache) >= maxCachedProblems {
-		clear(s.cache)
-	}
-	s.cache[k] = &cachedLP{prob: p, basis: s.solver.AppendBasis(nil)}
-	x, obj := s.unshiftTotal(basic)
-	return x, obj, nil
-}
-
 // Allocator owns the reusable solver state behind the phase-1
 // algorithms. One Allocator held across repeated allocations (churn
-// re-solves, sweeps) reuses tableau scratch between solves and
-// warm-starts programs it has seen before; the package-level
-// CentralizedAllocate / DistributedAllocate helpers construct a fresh
-// one per call.
+// re-solves, sweeps) reuses tableau scratch between solves, shards
+// group LPs across its worker sessions, and caches each solved group's
+// share vector keyed by the exact bits of the group LP — so a churn
+// event that perturbs one contention component re-solves only that
+// component's group and copies cached bits for the rest. The
+// package-level CentralizedAllocate / DistributedAllocate helpers
+// construct a fresh one per call.
 //
 // Methods on one Allocator must not be called concurrently with each
-// other; internally Distributed fans out across its worker sessions.
+// other; internally Centralized and Distributed fan out across the
+// worker sessions.
 type Allocator struct {
 	workers  int
 	sessions []*session
+
+	// groupCache maps a group LP's exact serialized bits (plus the
+	// refine flag) to the solved share vector, in group index order.
+	// Cached vectors are stored once and never mutated; readers copy.
+	groupCache map[groupCacheKey][]float64
+	pending    []int // scratch: group indices missing from the cache
+}
+
+// groupCacheKey identifies one solved group LP: the exact bits of its
+// clique rows, basic floors and weights, plus whether the max-min
+// refinement ran. Solutions are pure functions of this key, so equal
+// keys may share one cached share vector.
+type groupCacheKey struct {
+	lp     string
+	refine bool
+}
+
+// maxCachedGroups bounds the group solution cache; dynamic simulations
+// revisit a small set of group structures, so the bound exists only to
+// keep adversarial churn from growing memory without limit.
+const maxCachedGroups = 1024
+
+// ResetCache drops all cached group solutions. Benchmarks use it to
+// measure cold solves; allocations never need it for correctness
+// because cache keys capture the entire LP.
+func (a *Allocator) ResetCache() {
+	clear(a.groupCache)
 }
 
 // NewAllocator returns an Allocator sized to the machine: Distributed
@@ -180,7 +137,11 @@ func NewAllocatorWorkers(workers int) *Allocator {
 	if workers < 1 {
 		workers = 1
 	}
-	a := &Allocator{workers: workers, sessions: make([]*session, workers)}
+	a := &Allocator{
+		workers:    workers,
+		sessions:   make([]*session, workers),
+		groupCache: make(map[groupCacheKey][]float64),
+	}
 	for i := range a.sessions {
 		a.sessions[i] = newSession()
 	}

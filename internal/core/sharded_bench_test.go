@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"testing"
+
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+)
+
+// benchClusters sizes the multi-component benchmark instance: well
+// above the shard cutoff, matching the ≥32-group shape the sharded
+// engine targets.
+const benchClusters = 32
+
+// BenchmarkCentralizedShardedSeq is the sequential oracle walk over a
+// 32-component instance: one worker, share cache reset every
+// iteration so each solve is cold.
+func BenchmarkCentralizedShardedSeq(b *testing.B) {
+	inst, _, _ := clusteredInstance(b, benchClusters, 5)
+	a := core.NewAllocatorWorkers(1)
+	opts := core.CentralizedOptions{Refine: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ResetCache()
+		if _, err := a.Centralized(inst, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCentralizedShardedPar is the same instance fanned across
+// eight worker sessions. On a single-core machine it degenerates to
+// the sequential walk plus striping overhead; the ≥2× target is a
+// multi-core property.
+func BenchmarkCentralizedShardedPar(b *testing.B) {
+	inst, _, _ := clusteredInstance(b, benchClusters, 5)
+	a := core.NewAllocatorWorkers(8)
+	opts := core.CentralizedOptions{Refine: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ResetCache()
+		if _, err := a.Centralized(inst, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurnDelta measures one churn event end to end on a warm
+// allocator: the instance loses one flow, so of the 32 group LPs only
+// the touched component re-solves and the rest copy cached shares.
+// solves/event reports the measured LP work per event.
+func BenchmarkChurnDelta(b *testing.B) {
+	instA, topo, flows := clusteredInstance(b, benchClusters, 5)
+	kept := make([]*flow.Flow, 0, len(flows)-1)
+	for _, f := range flows {
+		if f.ID() != "c0F-top" {
+			kept = append(kept, f)
+		}
+	}
+	set, err := flow.NewSet(kept...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	instB, err := core.NewInstance(topo, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := core.NewAllocatorWorkers(1)
+	opts := core.CentralizedOptions{Refine: true}
+	var solved, groups int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Re-warm with the pre-churn instance off the clock so every
+		// timed solve is exactly one churn event on a warm allocator.
+		b.StopTimer()
+		a.ResetCache()
+		if _, err := a.Centralized(instA, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		_, delta, err := a.CentralizedDelta(instB, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		solved += delta.Solved
+		groups += delta.Groups
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(solved)/float64(b.N), "solves/event")
+		b.ReportMetric(float64(groups)/float64(b.N), "groups/event")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"e2efair/internal/contention"
-	"e2efair/internal/flow"
 )
 
 // TwoTierAllocate reproduces the two-tier fair scheduling baseline of
@@ -184,22 +183,12 @@ const fillTol = 1e-12
 func MaxMinAllocate(inst *Instance) FlowAllocation {
 	out := make(FlowAllocation, inst.Flows.Len())
 	for _, g := range inst.groups() {
-		ids := g.flowIDs()
-		idx := make(map[flow.ID]int, len(ids))
-		for i, id := range ids {
-			idx[id] = i
-		}
-		rows := cliqueRows(g, idx)
-		caps := make([]float64, len(rows))
+		caps := make([]float64, len(g.rows))
 		for k := range caps {
 			caps[k] = 1
 		}
-		weights := make([]float64, len(ids))
-		for i, id := range ids {
-			weights[i] = g.weights[id]
-		}
-		x := ProgressiveFilling(rows, caps, weights)
-		for i, id := range ids {
+		x := ProgressiveFilling(g.rows, caps, g.weights)
+		for i, id := range g.ids {
 			out[id] = x[i]
 		}
 	}

@@ -176,7 +176,9 @@ const maxCachedInstances = 64
 // route maintenance that keeps still-valid routes and batches repairs
 // by source through one BFS tree, flow/set/instance reuse whenever the
 // (adjacency, routes) state repeats, and one allocator whose solver
-// scratch and warm-start cache span the whole run.
+// scratch and group share cache span the whole run — an epoch that
+// perturbs some contention components re-solves only those components'
+// group LPs and copies cached shares for the rest.
 func runIncremental(cfg Config, wp *Waypoint) (*Result, error) {
 	res := &Result{PerFlow: make(map[flow.ID]int64, len(cfg.Flows))}
 	names := make([]string, cfg.Nodes)

@@ -25,6 +25,12 @@ type DynamicResult struct {
 	// Reallocations counts first-phase recomputations triggered by
 	// flow churn.
 	Reallocations int
+	// GroupSolves and GroupReuses accumulate the allocator's churn
+	// deltas across reallocations: group LPs solved fresh versus served
+	// from the share cache. A churn event that perturbs one contention
+	// component solves one group and reuses the rest.
+	GroupSolves int
+	GroupReuses int
 	// FinalShares is the allocation active when the run ended.
 	FinalShares core.SubflowAllocation
 }
@@ -79,9 +85,10 @@ func RunDynamic(inst *core.Instance, cfg Config, events []FlowEvent) (*DynamicRe
 	}
 
 	// One allocator across every churn event: the LP solver scratch is
-	// reused and group LPs recur across events (a flow leaving and
-	// rejoining restores an earlier active set), re-solving warm from
-	// their previous optimal basis. The instance cache skips rebuilding
+	// reused and — because churn only perturbs the contention components
+	// touching the changed flows — most group LPs recur bit-identically
+	// across events, so the allocator's share cache copies their solved
+	// shares instead of re-solving. The instance cache skips rebuilding
 	// the contention graph and re-enumerating maximal cliques when an
 	// active-flow set comes back.
 	allocator := core.NewAllocator()
@@ -114,10 +121,12 @@ func RunDynamic(inst *core.Instance, cfg Config, events []FlowEvent) (*DynamicRe
 			}
 			instCache[string(key)] = sub
 		}
-		shares, err := sharesForWith(allocator, sub, cfg.Protocol)
+		shares, delta, err := sharesForDelta(allocator, sub, cfg.Protocol)
 		if err != nil {
 			return err
 		}
+		res.GroupSolves += delta.Solved
+		res.GroupReuses += delta.Reused
 		for id, share := range shares {
 			node := subflowSrc(inst, id)
 			ts, ok := stack.Medium.SchedulerAt(node).(*mac.TagScheduler)

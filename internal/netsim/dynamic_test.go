@@ -94,7 +94,7 @@ func TestDynamicMatchesStaticWhenNoChurn(t *testing.T) {
 
 // TestDynamicChurnDeterministic oscillates F1 off and on so the same
 // active-flow sets recur: later reallocations hit the run's instance
-// cache and warm-start the group LPs solved earlier. Two identical
+// cache and copy cached shares for group LPs solved earlier. Two identical
 // runs must agree exactly, and the post-churn shares must match a
 // fresh static computation of the same active set.
 func TestDynamicChurnDeterministic(t *testing.T) {

@@ -164,7 +164,7 @@ func Run(inst *core.Instance, cfg Config) (*Result, error) {
 
 // RunWith is Run with a caller-held core.Allocator for the first-phase
 // shares, letting epoch loops (mobility.Run) reuse one allocator's
-// solver scratch and warm-start cache across many runs. A nil
+// solver scratch and group share cache across many runs. A nil
 // allocator behaves exactly like Run.
 func RunWith(a *core.Allocator, inst *core.Instance, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
@@ -253,35 +253,45 @@ func sharesFor(inst *core.Instance, p Protocol) (core.SubflowAllocation, error) 
 }
 
 // sharesForWith is sharesFor on a caller-held core.Allocator, so that
-// repeated reallocation — churn re-solves in RunDynamic — reuses
-// solver scratch and warm-starts group LPs it has seen before. A nil
-// allocator solves on fresh state.
+// repeated reallocation — churn re-solves in RunDynamic, mobility
+// epochs — reuses solver scratch and serves unchanged contention
+// components from the allocator's group share cache. A nil allocator
+// solves on fresh state.
 func sharesForWith(a *core.Allocator, inst *core.Instance, p Protocol) (core.SubflowAllocation, error) {
+	shares, _, err := sharesForDelta(a, inst, p)
+	return shares, err
+}
+
+// sharesForDelta is sharesForWith plus the allocator's churn delta:
+// how many contending-group LPs the solve actually ran versus copied
+// from the share cache. The delta is meaningful for the centralized
+// stacks (2PA-C, 2PA-DFS); other protocols report a zero Delta.
+func sharesForDelta(a *core.Allocator, inst *core.Instance, p Protocol) (core.SubflowAllocation, core.Delta, error) {
 	switch p {
 	case Protocol80211:
-		return nil, nil
+		return nil, core.Delta{}, nil
 	case ProtocolTwoTier:
-		return core.TwoTierAllocate(inst), nil
+		return core.TwoTierAllocate(inst), core.Delta{}, nil
 	case Protocol2PAC, ProtocolDFS:
 		if a == nil {
 			a = core.NewAllocatorWorkers(1)
 		}
-		alloc, err := a.Centralized(inst, core.CentralizedOptions{Refine: true})
+		alloc, d, err := a.CentralizedDelta(inst, core.CentralizedOptions{Refine: true})
 		if err != nil {
-			return nil, err
+			return nil, core.Delta{}, err
 		}
-		return alloc.Uniform(inst.Flows), nil
+		return alloc.Uniform(inst.Flows), d, nil
 	case Protocol2PAD:
 		if a == nil {
 			a = core.NewAllocator()
 		}
 		res, err := a.Distributed(inst)
 		if err != nil {
-			return nil, err
+			return nil, core.Delta{}, err
 		}
-		return res.Shares.Uniform(inst.Flows), nil
+		return res.Shares.Uniform(inst.Flows), core.Delta{}, nil
 	default:
-		return nil, fmt.Errorf("netsim: unknown protocol %d", int(p))
+		return nil, core.Delta{}, fmt.Errorf("netsim: unknown protocol %d", int(p))
 	}
 }
 

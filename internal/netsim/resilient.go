@@ -58,6 +58,12 @@ type ResilienceReport struct {
 	Salvaged        int64
 	Reallocations   int64
 	DegradedAllocs  int64
+	// GroupSolves and GroupReuses accumulate the allocator's churn
+	// deltas across re-solves (centralized stacks only): a reroute that
+	// perturbs one contention component solves that component's group
+	// LP and copies cached shares for the rest.
+	GroupSolves int64
+	GroupReuses int64
 	// RepairTime accumulates link-dead-to-reroute-installed time
 	// across all reroutes.
 	RepairTime sim.Time
@@ -592,10 +598,12 @@ func (r *resilience) solveShares(sub *core.Instance) (core.SubflowAllocation, bo
 	case ProtocolTwoTier:
 		return core.TwoTierAllocate(sub), false, nil
 	case Protocol2PAC, ProtocolDFS:
-		alloc, degraded, err := r.alloc.GracefulCentralized(sub, core.CentralizedOptions{Refine: true})
+		alloc, delta, degraded, err := r.alloc.GracefulCentralizedDelta(sub, core.CentralizedOptions{Refine: true})
 		if err != nil {
 			return nil, false, err
 		}
+		r.rep.GroupSolves += int64(delta.Solved)
+		r.rep.GroupReuses += int64(delta.Reused)
 		return alloc.Uniform(sub.Flows), degraded, nil
 	case Protocol2PAD:
 		alloc, degraded, err := r.alloc.GracefulDistributed(sub)

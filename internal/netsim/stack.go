@@ -29,8 +29,8 @@ func NewStack(inst *core.Instance, cfg Config, hooks mac.Hooks) (*Stack, error) 
 
 // NewStackWith is NewStack with a caller-held core.Allocator computing
 // the first-phase shares: repeated stack builds — the mobility epoch
-// loop — reuse LP solver scratch and warm-start group LPs already
-// solved for an earlier, identical instance. A nil allocator behaves
+// loop — reuse LP solver scratch and copy cached shares for group LPs
+// already solved under an earlier instance. A nil allocator behaves
 // exactly like NewStack.
 func NewStackWith(a *core.Allocator, inst *core.Instance, cfg Config, hooks mac.Hooks) (*Stack, error) {
 	cfg = cfg.withDefaults()
