@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-lp bench-alloc bench-mac bench-topo
+.PHONY: build test race bench bench-lp bench-alloc bench-mac bench-topo bench-sim
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,11 @@ bench-mac: build
 # written to BENCH_topo.json.
 bench-topo: build
 	$(GO) run ./cmd/benchtables -only topo -json BENCH_topo.json
+
+# Component-sharded simulator perf trajectory: simSec/s (best of 3) and
+# steady-state allocations per delivered packet on the eight-tile
+# Figure 6 workload, for the single-engine baseline and 1/4/8-worker
+# sharded pools, written to BENCH_sim.json. Delivered-packet counts must
+# match across all four rows (byte-identical sharding).
+bench-sim: build
+	$(GO) run ./cmd/benchtables -only sim -json BENCH_sim.json

@@ -489,6 +489,56 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 	b.ReportMetric(benchSimDur.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "simSec/s")
 }
 
+// benchShardTiles is the component count of the sharding benchmark
+// scenario: eight disjoint Figure 6 tiles, so an 8-way worker pool can
+// run every radio component concurrently.
+const benchShardTiles = 8
+
+// mustTiled builds the multi-component sharding workload: disjoint
+// copies of Figure 6 spaced beyond interference range.
+func mustTiled(b *testing.B, copies int) *scenario.Scenario {
+	b.Helper()
+	base := mustScenario(b, scenario.Figure6)
+	sc, err := scenario.Tiled(base, copies)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+// benchSimShardDur keeps the tiled runs (8× the Figure 6 event volume)
+// at roughly the single-tile benchmark's wall-clock per iteration.
+const benchSimShardDur = 10 * sim.Second
+
+func benchSimulatorSharded(b *testing.B, workers int) {
+	sc := mustTiled(b, benchShardTiles)
+	sh := netsim.NewSharder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var delivered int64
+	for i := 0; i < b.N; i++ {
+		r, err := netsim.Run(sc.Inst, netsim.Config{
+			Protocol: netsim.Protocol2PAC, Duration: benchSimShardDur, Seed: 1,
+			ShardSim: workers > 0, ShardWorkers: workers, Sharder: sh,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered = r.Stats.TotalEndToEnd()
+	}
+	b.ReportMetric(benchSimShardDur.Seconds()*float64(b.N)/b.Elapsed().Seconds(), "simSec/s")
+	b.ReportMetric(float64(delivered), "pkt/run")
+}
+
+// BenchmarkSimulatorEventRateMulti is the single-engine baseline on
+// the eight-component tiled scenario; the Sharded variants below run
+// the identical workload (byte-identical results) on 1, 4, and 8
+// worker engines.
+func BenchmarkSimulatorEventRateMulti(b *testing.B)    { benchSimulatorSharded(b, 0) }
+func BenchmarkSimulatorEventRateSharded1(b *testing.B) { benchSimulatorSharded(b, 1) }
+func BenchmarkSimulatorEventRateSharded4(b *testing.B) { benchSimulatorSharded(b, 4) }
+func BenchmarkSimulatorEventRateSharded8(b *testing.B) { benchSimulatorSharded(b, 8) }
+
 // benchMACNodes is the dense random topology size for the MAC
 // micro-benchmarks: large enough that interference rows span multiple
 // words and neighborhoods overlap heavily.
@@ -510,7 +560,7 @@ func benchMACMedium(b *testing.B, hooks mac.Hooks) (*sim.Engine, *mac.Medium, *t
 		b.Fatal(err)
 	}
 	eng := sim.NewEngine()
-	medium, err := mac.NewMedium(eng, topo, rand.New(rand.NewSource(1)), mac.Config{}, hooks)
+	medium, err := mac.NewMedium(eng, topo, mac.Config{Seed: 1}, hooks)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -78,7 +78,7 @@ func (s *Section) add(label string, values map[string]float64) {
 func main() {
 	duration := flag.Float64("duration", 200, "simulated seconds for Tables II/III (paper: 1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp, alloc, mac, topo, resilience")
+	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp, alloc, mac, topo, resilience, sim")
 	jsonPath := flag.String("json", "", "write machine-readable metrics and wall-clock timings to this file")
 	flag.Parse()
 	if err := run(*duration, *seed, *only, *jsonPath); err != nil {
@@ -97,6 +97,7 @@ func run(durationSec float64, seed int64, only, jsonPath string) error {
 		{"ideal", ideal}, {"transport", reliableTransport}, {"random", randomSweep},
 		{"mobility", mobilitySection}, {"lp", lpSection}, {"alloc", allocSection},
 		{"mac", macSection}, {"topo", topoSection}, {"resilience", resilienceSection},
+		{"sim", simSection},
 	}
 	report := &Report{DurationSec: durationSec, Seed: seed}
 	start := time.Now()
@@ -939,6 +940,89 @@ func macSection(_ float64, seed int64, sec *Section) error {
 	perPkt := (mLong - mShort) / (pLong - pShort)
 	fmt.Printf("steady-state allocations:        %10.3f allocs/delivered pkt (fig6 2PA-C)\n", perPkt)
 	sec.add("allocs", map[string]float64{"perDeliveredPkt": perPkt})
+	return nil
+}
+
+// simSection measures the component-sharded packet simulator on the
+// eight-tile Figure 6 workload: wall-clock simulation rate (best of
+// three runs) and steady-state allocations per delivered packet for
+// the single-engine baseline and 1/4/8-worker sharded pools. All four
+// configurations produce byte-identical results; on a single-core host
+// the worker pools serialize, so the sharded rows then measure the
+// partitioning overhead plus the smaller-heap win rather than parallel
+// speedup. Emitted to BENCH_sim.json by `make bench-sim`.
+func simSection(_ float64, seed int64, sec *Section) error {
+	fmt.Println("== Component-sharded packet simulation (8 disjoint Fig. 6 tiles) ==")
+	base, err := scenario.Figure6()
+	if err != nil {
+		return err
+	}
+	sc, err := scenario.Tiled(base, 8)
+	if err != nil {
+		return err
+	}
+	const rateDur = 10 * sim.Second
+	for _, workers := range []int{0, 1, 4, 8} {
+		label := "single-engine"
+		if workers > 0 {
+			label = fmt.Sprintf("sharded-%dw", workers)
+		}
+		sh := netsim.NewSharder()
+		cfg := func(dur sim.Time) netsim.Config {
+			return netsim.Config{
+				Protocol: netsim.Protocol2PAC, Duration: dur, Seed: seed,
+				ShardSim: workers > 0, ShardWorkers: workers, Sharder: sh,
+			}
+		}
+		// Warm the sharder cache and code paths off the clock.
+		if _, err := netsim.Run(sc.Inst, cfg(sim.Second)); err != nil {
+			return err
+		}
+		best := math.Inf(1)
+		var delivered int64
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			r, err := netsim.Run(sc.Inst, cfg(rateDur))
+			if err != nil {
+				return err
+			}
+			if wall := time.Since(start).Seconds(); wall < best {
+				best = wall
+			}
+			delivered = r.Stats.TotalEndToEnd()
+		}
+		rate := rateDur.Seconds() / best
+		// Steady-state allocations per delivered packet, short/long
+		// difference so per-run construction cancels out.
+		measure := func(dur sim.Time) (mallocs, pkts float64, err error) {
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			r, err := netsim.Run(sc.Inst, cfg(dur))
+			if err != nil {
+				return 0, 0, err
+			}
+			runtime.ReadMemStats(&after)
+			return float64(after.Mallocs - before.Mallocs), float64(r.Stats.TotalEndToEnd()), nil
+		}
+		mShort, pShort, err := measure(5 * sim.Second)
+		if err != nil {
+			return err
+		}
+		mLong, pLong, err := measure(25 * sim.Second)
+		if err != nil {
+			return err
+		}
+		perPkt := (mLong - mShort) / (pLong - pShort)
+		fmt.Printf("%-14s %8.1f simSec/s   %8.3f allocs/delivered pkt   (%d pkt/run)\n",
+			label, rate, perPkt, delivered)
+		sec.add(label, map[string]float64{
+			"workers":            float64(workers),
+			"simSecPerS":         rate,
+			"allocsPerDelivered": perPkt,
+			"deliveredPkt":       float64(delivered),
+		})
+	}
 	return nil
 }
 

@@ -11,13 +11,13 @@ package dsr
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"e2efair/internal/mac"
 	"e2efair/internal/phy"
 	"e2efair/internal/routing"
 	"e2efair/internal/sim"
 	"e2efair/internal/topology"
+	"e2efair/internal/xrand"
 )
 
 // Control frame sizes in bytes: a DSR header plus the accumulated
@@ -127,7 +127,10 @@ type engine struct {
 	topo   *topology.Topology
 	eng    *sim.Engine
 	medium *mac.Medium
-	rng    *rand.Rand
+	// rngs are the per-node jitter streams (seed ⊕ FNV-1a(node)), so a
+	// node's flood-jitter draws depend only on its own forwarding
+	// order, matching the simulator-wide shard-invariant RNG scheme.
+	rngs   []xrand.Rand
 	nodes  []*node
 	want   map[[2]topology.NodeID]bool
 	res    *Result
@@ -190,7 +193,6 @@ func Discover(topo *topology.Topology, pairs [][2]topology.NodeID, cfg Config) (
 		cfg:  cfg,
 		topo: topo,
 		eng:  sim.NewEngine(),
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		want: make(map[[2]topology.NodeID]bool, len(pairs)),
 		res: &Result{
 			Routes: make(map[[2]topology.NodeID][]topology.NodeID, len(pairs)),
@@ -214,11 +216,15 @@ func Discover(topo *topology.Topology, pairs [][2]topology.NodeID, cfg Config) (
 			e.onUnicastHop(p, now)
 		},
 	}
-	e.medium, err = mac.NewMedium(e.eng, topo, e.rng, mac.Config{Channel: ch}, hooks)
+	e.medium, err = mac.NewMedium(e.eng, topo, mac.Config{Channel: ch, Seed: cfg.Seed}, hooks)
 	if err != nil {
 		return nil, err
 	}
 	e.nodes = make([]*node, topo.NumNodes())
+	e.rngs = make([]xrand.Rand, topo.NumNodes())
+	for i := range e.rngs {
+		e.rngs[i] = xrand.NodeStream(cfg.Seed, uint64(i))
+	}
 	for i := range e.nodes {
 		e.nodes[i] = &node{id: topology.NodeID(i), seen: make(map[[2]int64]bool)}
 		if err := e.medium.Attach(topology.NodeID(i), mac.NewFIFO(64, phy.DefaultCWMin, phy.DefaultCWMax)); err != nil {
@@ -327,7 +333,7 @@ func (e *engine) onRREQ(p *mac.Packet, receiver topology.NodeID, now sim.Time) {
 		return
 	}
 	fwd := &message{rreq: true, origin: msg.origin, target: msg.target, id: msg.id, route: route}
-	jitter := sim.Time(e.rng.Int63n(int64(e.cfg.MaxJitter) + 1))
+	jitter := sim.Time(e.rngs[receiver].Intn(int(e.cfg.MaxJitter) + 1))
 	_ = e.eng.After(jitter, 1, func() { e.broadcast(receiver, fwd) })
 }
 

@@ -13,13 +13,13 @@ package fault
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
 
 	"e2efair/internal/sim"
 	"e2efair/internal/topology"
+	"e2efair/internal/xrand"
 )
 
 var (
@@ -287,7 +287,8 @@ type transition struct {
 // can verify that each loss is attributed downstream.
 type Injector struct {
 	n           int
-	rng         *rand.Rand
+	seed        int64
+	rngs        []xrand.Rand
 	defaultLoss float64
 	lossy       bool
 	loss        map[uint64]float64
@@ -320,7 +321,8 @@ func (p *Plan) Compile(numNodes int) (*Injector, error) {
 	}
 	in := &Injector{
 		n:           numNodes,
-		rng:         rand.New(rand.NewSource(p.Seed)),
+		seed:        p.Seed,
+		rngs:        make([]xrand.Rand, numNodes),
 		defaultLoss: p.DefaultLoss,
 		loss:        make(map[uint64]float64, len(p.LinkLoss)),
 		nodeDown:    make([]int, numNodes),
@@ -380,15 +382,38 @@ func (p *Plan) Compile(numNodes int) (*Injector, error) {
 	sort.SliceStable(in.transitions, func(i, j int) bool {
 		return in.transitions[i].at < in.transitions[j].at
 	})
+	in.SetNodeIDs(nil)
 	return in, nil
+}
+
+// SetNodeIDs re-seeds the per-transmitter loss streams with global
+// node identities: local node i draws from stream
+// NodeStream(plan.Seed, ids[i]). Sharded harnesses call this so a
+// transmitter's corruption draws match the whole-network run; nil
+// restores the identity mapping. Call before the engine runs.
+func (in *Injector) SetNodeIDs(ids []int32) error {
+	if ids != nil && len(ids) != in.n {
+		return fmt.Errorf("%w: NodeIDs length %d != %d nodes", ErrBadPlan, len(ids), in.n)
+	}
+	for i := range in.rngs {
+		gid := uint64(i)
+		if ids != nil {
+			gid = uint64(ids[i])
+		}
+		in.rngs[i] = xrand.NodeStream(in.seed, gid)
+	}
+	return nil
 }
 
 // Lossy reports whether any loss rate is configured.
 func (in *Injector) Lossy() bool { return in.lossy }
 
 // Corrupted implements the PHY loss model: it draws from the
-// injector's private stream whenever the tx-rx link has a positive
-// loss rate, and counts each injected corruption.
+// transmitter's private stream whenever the tx-rx link has a positive
+// loss rate, and counts each injected corruption. Keying the stream to
+// the transmitter (rather than one shared injector stream) makes the
+// draw sequence depend only on that node's own transmission order, so
+// component-sharded runs replay the whole-network draws exactly.
 func (in *Injector) Corrupted(tx, rx int, _ int) bool {
 	if !in.lossy {
 		return false
@@ -400,7 +425,10 @@ func (in *Injector) Corrupted(tx, rx int, _ int) bool {
 	if rate <= 0 {
 		return false
 	}
-	if in.rng.Float64() >= rate {
+	if tx < 0 || tx >= in.n {
+		return false
+	}
+	if in.rngs[tx].Float64() >= rate {
 		return false
 	}
 	in.corruptions++

@@ -1,12 +1,12 @@
 package mac
 
 import (
-	"math/rand"
 	"testing"
 
 	"e2efair/internal/flow"
 	"e2efair/internal/sim"
 	"e2efair/internal/topology"
+	"e2efair/internal/xrand"
 )
 
 // broadcastRig extends the test rig with broadcast reception capture.
@@ -27,7 +27,7 @@ func newBroadcastRig(t *testing.T, build func(b *topology.Builder)) *broadcastRi
 		},
 		OnCollision: func(_ topology.NodeID, _ sim.Time) { br.collision++ },
 	}
-	m, err := NewMedium(base.eng, base.topo, rand.New(rand.NewSource(1)), Config{}, hooks)
+	m, err := NewMedium(base.eng, base.topo, Config{Seed: 1}, hooks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,16 +160,16 @@ func TestDFSScheduler(t *testing.T) {
 	if head == nil || head.Seq != 0 {
 		t.Fatalf("head = %v", head)
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	// First-attempt backoff is share-scaled and never zero.
 	for i := 0; i < 50; i++ {
-		b := d.DrawBackoff(rng, 0, 0)
+		b := d.DrawBackoff(&rng, 0, 0)
 		if b < 1 || b > 1023 {
 			t.Fatalf("backoff %d out of range", b)
 		}
 	}
 	// Retry falls back to BEB.
-	if b := d.DrawBackoff(rng, 3, 0); b > 255 {
+	if b := d.DrawBackoff(&rng, 3, 0); b > 255 {
 		t.Errorf("retry backoff %d exceeds BEB window", b)
 	}
 	d.OnSuccess(head, 0, 0)
@@ -187,8 +187,8 @@ func TestDFSScheduler(t *testing.T) {
 	d2.Enqueue(&Packet{Flow: "F2", Path: []topology.NodeID{0, 1}, PayloadBytes: 512}, 0)
 	var sumLow, sumHigh int
 	for i := 0; i < 100; i++ {
-		sumLow += d2.DrawBackoff(rng, 0, 0)
-		sumHigh += d.DrawBackoff(rng, 0, 0)
+		sumLow += d2.DrawBackoff(&rng, 0, 0)
+		sumHigh += d.DrawBackoff(&rng, 0, 0)
 	}
 	if sumLow <= sumHigh {
 		t.Errorf("low-share backoff sum %d should exceed high-share %d", sumLow, sumHigh)

@@ -1,12 +1,11 @@
 package mac
 
 import (
-	"fmt"
-	"math/rand"
-
 	"e2efair/internal/flow"
 	"e2efair/internal/sim"
 	"e2efair/internal/topology"
+	"e2efair/internal/xrand"
+	"fmt"
 )
 
 // DefaultDFSScaling maps normalized packet service time to backoff
@@ -105,7 +104,7 @@ func (d *DFS) OnDrop(_ *Packet, _ sim.Time) { d.queue.pop() }
 
 // DrawBackoff implements Scheduler: first attempt in
 // [0.9, 1.1]·scaling·L/(w·B) slots; retries use exponential recovery.
-func (d *DFS) DrawBackoff(rng *rand.Rand, retries int, _ sim.Time) int {
+func (d *DFS) DrawBackoff(rng *xrand.Rand, retries int, _ sim.Time) int {
 	if retries > 0 {
 		cw := d.cwMin
 		for i := 0; i < retries && cw < d.cwMax; i++ {

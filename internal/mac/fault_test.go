@@ -83,7 +83,7 @@ func newFaultRig(t *testing.T, link LinkState, cfg Config, build func(b *topolog
 		},
 	}
 	cfg.Link = link
-	m, err := NewMedium(r.eng, topo, rand.New(rand.NewSource(1)), cfg, hooks)
+	m, err := NewMedium(r.eng, topo, cfg, hooks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +381,7 @@ func FuzzLossyExchange(f *testing.F) {
 			},
 			OnRetryDrop: func(_ *Packet, _ sim.Time) { retryDrops++ },
 		}
-		medium, err = NewMedium(eng, topo, rand.New(rand.NewSource(seed)), Config{RetryLimit: 3}, hooks)
+		medium, err = NewMedium(eng, topo, Config{RetryLimit: 3, Seed: seed}, hooks)
 		if err != nil {
 			t.Fatal(err)
 		}

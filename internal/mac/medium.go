@@ -4,11 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"math/rand"
 
 	"e2efair/internal/phy"
 	"e2efair/internal/sim"
 	"e2efair/internal/topology"
+	"e2efair/internal/xrand"
 )
 
 // Event phases within one instant: transmissions finish before new
@@ -107,6 +107,17 @@ type Tracer interface {
 type Config struct {
 	Channel    *phy.Channel
 	RetryLimit int // floor-acquisition attempts before drop; default phy.DefaultRetryLimit
+	// Seed seeds the per-node backoff streams: node i draws from
+	// xrand.NodeStream(Seed, global(i)), so a node's draw sequence
+	// depends only on the run seed, its global identity, and its own
+	// event order — never on the engine-wide interleaving. This is
+	// what makes component-sharded runs byte-identical to the
+	// single-engine run.
+	Seed int64
+	// NodeIDs maps the medium's local node indices to global node IDs
+	// when the topology is an induced shard of a larger network; nil
+	// means local IDs are global (the whole-network case).
+	NodeIDs []int32
 	// Tracer, when set, receives every MAC-level event.
 	Tracer Tracer
 	// Link gates transmissions on injected node/link faults; nil is
@@ -127,7 +138,6 @@ type Medium struct {
 	eng        *sim.Engine
 	topo       *topology.Topology
 	ch         *phy.Channel
-	rng        *rand.Rand
 	hooks      Hooks
 	retryLimit int
 	// link, when non-nil, switches the medium onto the fault-aware
@@ -183,6 +193,9 @@ type outcome struct {
 type nodeMAC struct {
 	id    topology.NodeID
 	sched Scheduler
+	// rng is the node's private backoff stream, seeded from the run
+	// seed and the node's global ID (Config.Seed/Config.NodeIDs).
+	rng xrand.Rand
 
 	pending    *Packet
 	backoff    int
@@ -212,7 +225,7 @@ type nodeMAC struct {
 }
 
 // NewMedium builds the medium over a topology.
-func NewMedium(eng *sim.Engine, topo *topology.Topology, rng *rand.Rand, cfg Config, hooks Hooks) (*Medium, error) {
+func NewMedium(eng *sim.Engine, topo *topology.Topology, cfg Config, hooks Hooks) (*Medium, error) {
 	if cfg.Channel == nil {
 		var err error
 		cfg.Channel, err = phy.NewChannel(0)
@@ -231,7 +244,6 @@ func NewMedium(eng *sim.Engine, topo *topology.Topology, rng *rand.Rand, cfg Con
 		eng:        eng,
 		topo:       topo,
 		ch:         cfg.Channel,
-		rng:        rng,
 		hooks:      hooks,
 		retryLimit: cfg.RetryLimit,
 		link:       cfg.Link,
@@ -248,8 +260,15 @@ func NewMedium(eng *sim.Engine, topo *topology.Topology, rng *rand.Rand, cfg Con
 	}
 	m.resolveFn = m.resolve
 	m.rescanFn = m.processParked
+	if cfg.NodeIDs != nil && len(cfg.NodeIDs) != n {
+		return nil, fmt.Errorf("mac: NodeIDs length %d != %d nodes", len(cfg.NodeIDs), n)
+	}
 	for i := 0; i < n; i++ {
-		nd := &nodeMAC{id: topology.NodeID(i), dropRx: -1}
+		gid := uint64(i)
+		if cfg.NodeIDs != nil {
+			gid = uint64(cfg.NodeIDs[i])
+		}
+		nd := &nodeMAC{id: topology.NodeID(i), dropRx: -1, rng: xrand.NodeStream(cfg.Seed, gid)}
 		nd.attemptFn = func(seq uint64) { m.attempt(nd, seq) }
 		nd.finishFn = func() { m.finishTx(nd) }
 		m.nodes[i] = nd
@@ -406,7 +425,7 @@ func (m *Medium) kick(n *nodeMAC) {
 	}
 	n.pending = p
 	n.retries = 0
-	n.backoff = n.sched.DrawBackoff(m.rng, 0, m.eng.Now())
+	n.backoff = n.sched.DrawBackoff(&n.rng, 0, m.eng.Now())
 	m.scheduleAttempt(n)
 }
 
@@ -568,7 +587,6 @@ func (m *Medium) beginBroadcast(n *nodeMAC, attempters []*nodeMAC) {
 	p := n.pending
 	dur := m.ch.DataTime(p.PayloadBytes)
 	end := now + dur
-	m.air.addExchange(n.id, dur)
 
 	// The jam region is the union of every other attempter's position
 	// and interference row; a transmission-range neighbor outside it
@@ -627,6 +645,7 @@ func (m *Medium) finishTx(n *nodeMAC) {
 func (m *Medium) finishBroadcast(n *nodeMAC, p *Packet) {
 	now := m.eng.Now()
 	n.inExchange = false
+	m.air.addExchange(n.id, m.ch.DataTime(p.PayloadBytes))
 	n.sched.OnSuccess(p, 0, now)
 	n.pending = nil
 	n.retries = 0
@@ -658,7 +677,7 @@ func (m *Medium) failAttempt(n *nodeMAC) {
 		m.dropPending(n, now)
 		return
 	}
-	n.backoff = n.sched.DrawBackoff(m.rng, n.retries, now)
+	n.backoff = n.sched.DrawBackoff(&n.rng, n.retries, now)
 	m.scheduleAttempt(n)
 }
 
@@ -709,7 +728,6 @@ func (m *Medium) beginExchange(n, rx *nodeMAC) {
 	p := n.pending
 	dur := m.ch.ExchangeTime(p.PayloadBytes)
 	end := now + dur
-	m.air.addExchange(n.id, dur)
 	n.inExchange = true
 	rx.inExchange = true
 	n.counting = false
@@ -767,6 +785,11 @@ func (m *Medium) finishExchange(n, rx *nodeMAC, p *Packet) {
 	now := m.eng.Now()
 	n.inExchange = false
 	rx.inExchange = false
+	// Airtime is charged on completion, not start: an exchange still in
+	// flight when the run's horizon cuts it off is charged to neither
+	// Exchanges nor TxTime, so Exchanges equals delivered hops (plus
+	// corrupted frames on lossy channels) at any stopping point.
+	m.air.addExchange(n.id, m.ch.ExchangeTime(p.PayloadBytes))
 	if n.exchCorrupt {
 		n.exchCorrupt = false
 		m.corruptExchange(n, rx, p, now)
@@ -806,7 +829,7 @@ func (m *Medium) corruptExchange(n, rx *nodeMAC, p *Packet, now sim.Time) {
 	if n.retries > m.retryLimit {
 		m.dropPending(n, now)
 	} else {
-		n.backoff = n.sched.DrawBackoff(m.rng, n.retries, now)
+		n.backoff = n.sched.DrawBackoff(&n.rng, n.retries, now)
 		m.scheduleAttempt(n)
 	}
 	m.parked.set(int(rx.id))

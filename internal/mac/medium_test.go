@@ -1,7 +1,6 @@
 package mac
 
 import (
-	"math/rand"
 	"testing"
 
 	"e2efair/internal/flow"
@@ -43,7 +42,7 @@ func newRig(t *testing.T, build func(b *topology.Builder)) *rig {
 		OnRetryDrop: func(_ *Packet, _ sim.Time) { r.retryDrop++ },
 		OnCollision: func(_ topology.NodeID, _ sim.Time) { r.collision++ },
 	}
-	m, err := NewMedium(r.eng, topo, rand.New(rand.NewSource(1)), Config{}, hooks)
+	m, err := NewMedium(r.eng, topo, Config{Seed: 1}, hooks)
 	if err != nil {
 		t.Fatal(err)
 	}

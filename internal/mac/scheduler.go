@@ -1,10 +1,9 @@
 package mac
 
 import (
-	"math/rand"
-
 	"e2efair/internal/sim"
 	"e2efair/internal/topology"
+	"e2efair/internal/xrand"
 )
 
 // Scheduler is the per-node packet scheduling policy plugged into the
@@ -34,7 +33,7 @@ type Scheduler interface {
 	// DrawBackoff returns the contention backoff in slots for the
 	// current head packet, given how many attempts have already
 	// failed.
-	DrawBackoff(rng *rand.Rand, retries int, now sim.Time) int
+	DrawBackoff(rng *xrand.Rand, retries int, now sim.Time) int
 
 	// Observe reports a service tag overheard from a neighboring
 	// transmitter (piggybacked on RTS/CTS/ACK frames).
@@ -94,7 +93,7 @@ func (f *FIFO) OnDrop(_ *Packet, _ sim.Time) { f.queue.pop() }
 
 // DrawBackoff implements Scheduler: uniform in [0, CW] with CW
 // doubling per retry from CWmin to CWmax.
-func (f *FIFO) DrawBackoff(rng *rand.Rand, retries int, _ sim.Time) int {
+func (f *FIFO) DrawBackoff(rng *xrand.Rand, retries int, _ sim.Time) int {
 	cw := f.cwMin
 	for i := 0; i < retries && cw < f.cwMax; i++ {
 		cw = 2*cw + 1

@@ -1,12 +1,11 @@
 package mac
 
 import (
-	"fmt"
-	"math/rand"
-
 	"e2efair/internal/flow"
 	"e2efair/internal/sim"
 	"e2efair/internal/topology"
+	"e2efair/internal/xrand"
+	"fmt"
 )
 
 // DefaultAlpha is the paper's short-term fairness strictness
@@ -297,7 +296,7 @@ func (s *TagScheduler) OnDrop(p *Packet, _ sim.Time) {
 // [0, CWmin + max(Q, R, 0)], where Q = α·Σ_m (S − r_m) over the local
 // table; the window escalates per retry as in 802.11 to preserve
 // collision resolution.
-func (s *TagScheduler) DrawBackoff(rng *rand.Rand, retries int, now sim.Time) int {
+func (s *TagScheduler) DrawBackoff(rng *xrand.Rand, retries int, now sim.Time) int {
 	var sTag float64
 	if s.current != nil && s.current.tagged {
 		sTag = s.current.sTag

@@ -1,12 +1,12 @@
 package mac
 
 import (
-	"math/rand"
 	"testing"
 
 	"e2efair/internal/flow"
 	"e2efair/internal/sim"
 	"e2efair/internal/topology"
+	"e2efair/internal/xrand"
 )
 
 func newTagSched(t *testing.T) *TagScheduler {
@@ -155,10 +155,10 @@ func TestBackoffGrowsWhenAhead(t *testing.T) {
 	_ = s.Head(0)
 	// A neighbor stuck at tag 0.
 	s.Observe(1, 0, 0)
-	rng := rand.New(rand.NewSource(1))
+	rng := xrand.New(1)
 	var aheadMax int
 	for i := 0; i < 200; i++ {
-		if b := s.DrawBackoff(rng, 0, 0); b > aheadMax {
+		if b := s.DrawBackoff(&rng, 0, 0); b > aheadMax {
 			aheadMax = b
 		}
 	}
@@ -167,7 +167,7 @@ func TestBackoffGrowsWhenAhead(t *testing.T) {
 	s.Observe(1, tag, 0)
 	var evenMax int
 	for i := 0; i < 200; i++ {
-		if b := s.DrawBackoff(rng, 0, 0); b > evenMax {
+		if b := s.DrawBackoff(&rng, 0, 0); b > evenMax {
 			evenMax = b
 		}
 	}

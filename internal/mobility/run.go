@@ -104,6 +104,12 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Net.ShardSim && cfg.Net.Sharder == nil {
+		// One sharder spans the whole run: epochs that leave a radio
+		// component's adjacency untouched reuse its cached sub-topology
+		// instead of re-deriving it, so mobility re-shards incrementally.
+		cfg.Net.Sharder = netsim.NewSharder()
+	}
 	if cfg.Rebuild {
 		return runRebuild(cfg, wp)
 	}

@@ -43,6 +43,9 @@ type DynamicResult struct {
 // flows.
 func RunDynamic(inst *core.Instance, cfg Config, events []FlowEvent) (*DynamicResult, error) {
 	cfg = cfg.withDefaults()
+	if r, ok, err := runDynamicSharded(inst, cfg, events); ok {
+		return r, err
+	}
 	col := stats.NewCollector()
 	var stack *Stack
 	hooks := mac.Hooks{

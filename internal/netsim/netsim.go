@@ -99,6 +99,35 @@ type Config struct {
 	// break i hops from the flow's source starts i·RERRHopDelay after
 	// the link-dead signal (default 1 ms).
 	RERRHopDelay sim.Time
+	// ShardSim partitions the topology into interference-disjoint
+	// radio components and simulates each on its own event engine over
+	// a worker pool. Per-node RNG streams are derived from the run
+	// seed and the node's global ID, so the sharded run is
+	// byte-identical to the single-engine run. Runs with fewer than
+	// shardMinComponents components — and traced runs, whose tracer
+	// would interleave events from concurrent engines — fall back to
+	// the exact single-engine path.
+	ShardSim bool
+	// ShardWorkers bounds the shard worker pool; <= 0 selects
+	// GOMAXPROCS. Results are merged in component order, so the worker
+	// count never changes the outcome.
+	ShardWorkers int
+	// Sharder, when set, caches induced sub-topologies across runs
+	// keyed by component fingerprint: a mobility epoch that moves one
+	// component rebuilds that shard only. Nil builds ephemeral shards
+	// per run.
+	Sharder *Sharder
+
+	// eng, when non-nil, is an engine recycled via Reset instead of
+	// allocating a fresh one — set by RunParallel and shard workers.
+	eng *sim.Engine
+	// nodeIDs maps this run's local node indices to global node IDs
+	// when the instance is an induced shard; nil means local IDs are
+	// global.
+	nodeIDs []int32
+	// flowIdx maps local flow positions to global flow indices so CBR
+	// stagger offsets stay keyed to the global index in shard runs.
+	flowIdx []int
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +197,15 @@ func Run(inst *core.Instance, cfg Config) (*Result, error) {
 // allocator behaves exactly like Run.
 func RunWith(a *core.Allocator, inst *core.Instance, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if r, ok, err := runSharded(a, inst, cfg); ok {
+		return r, err
+	}
+	return runSingle(a, inst, cfg)
+}
+
+// runSingle is the single-engine run: the whole instance on one event
+// engine. Sharded runs execute it once per radio component.
+func runSingle(a *core.Allocator, inst *core.Instance, cfg Config) (*Result, error) {
 	if cfg.Fault != nil || cfg.Watchdog {
 		return runResilient(a, inst, cfg)
 	}
@@ -212,7 +250,7 @@ func RunWith(a *core.Allocator, inst *core.Instance, cfg Config) (*Result, error
 			Flow:         f,
 			PacketsPerS:  cfg.PacketsPerS,
 			PayloadBytes: cfg.PayloadBytes,
-			Offset:       sim.Time(i) * 137 * sim.Microsecond,
+			Offset:       cbrOffset(cfg, i),
 			Until:        cfg.Duration,
 			OnSourceDrop: func(_ *mac.Packet, _ sim.Time) { col.QueueDrop(false) },
 		})
@@ -244,6 +282,18 @@ func RunWith(a *core.Allocator, inst *core.Instance, cfg Config) (*Result, error
 		Series:   series,
 		Latency:  lat,
 	}, nil
+}
+
+// cbrOffset staggers CBR source starts by the flow's *global* index:
+// 137 µs per flow, 137 coprime to the 5000 µs default emission
+// interval, so sources never synchronize. Shard runs carry the global
+// index in cfg.flowIdx so their emission times match the single-engine
+// run exactly.
+func cbrOffset(cfg Config, i int) sim.Time {
+	if cfg.flowIdx != nil {
+		i = cfg.flowIdx[i]
+	}
+	return sim.Time(i) * 137 * sim.Microsecond
 }
 
 // sharesFor computes the per-subflow allocation each protocol's

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"e2efair/internal/core"
+	"e2efair/internal/sim"
 )
 
 // Job is one independent simulation of a sweep: an instance plus a
@@ -62,8 +63,14 @@ func RunParallel(jobs []Job, workers int) ([]*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One engine per worker, recycled across jobs via Reset:
+			// the heap storage and event free list carry over, so a
+			// long sweep stops paying per-run allocation for them.
+			eng := sim.NewEngine()
 			for i := range idx {
-				results[i], errs[i] = Run(jobs[i].Inst, jobs[i].Cfg)
+				cfg := jobs[i].Cfg
+				cfg.eng = eng
+				results[i], errs[i] = Run(jobs[i].Inst, cfg)
 			}
 		}()
 	}

@@ -146,6 +146,14 @@ func runResilient(a *core.Allocator, inst *core.Instance, cfg Config) (*Result, 
 		if err != nil {
 			return nil, err
 		}
+		// Shard runs re-seed the per-transmitter loss streams with the
+		// nodes' global identities so the draws replay the
+		// whole-network run.
+		if cfg.nodeIDs != nil {
+			if err := inj.SetNodeIDs(cfg.nodeIDs); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if a == nil {
 		a = core.NewAllocatorWorkers(1)
@@ -212,7 +220,7 @@ func runResilient(a *core.Allocator, inst *core.Instance, cfg Config) (*Result, 
 			Flow:         f,
 			PacketsPerS:  cfg.PacketsPerS,
 			PayloadBytes: cfg.PayloadBytes,
-			Offset:       sim.Time(i) * 137 * sim.Microsecond,
+			Offset:       cbrOffset(cfg, i),
 			Until:        cfg.Duration,
 			Route:        func() []topology.NodeID { return r.routes[fid] },
 			OnEmit: func(_ *mac.Packet, accepted bool, _ sim.Time) {
@@ -590,29 +598,44 @@ func (r *resilience) registerPath(fid flow.ID, path []topology.NodeID) {
 }
 
 // solveShares computes the protocol's per-subflow allocation with
-// graceful LP degradation.
+// graceful LP degradation, accumulating the allocator's churn delta
+// into the report.
 func (r *resilience) solveShares(sub *core.Instance) (core.SubflowAllocation, bool, error) {
-	switch r.cfg.Protocol {
+	shares, delta, degraded, err := solveSharesGraceful(r.alloc, sub, r.cfg.Protocol)
+	if err != nil {
+		return nil, false, err
+	}
+	r.rep.GroupSolves += int64(delta.Solved)
+	r.rep.GroupReuses += int64(delta.Reused)
+	return shares, degraded, nil
+}
+
+// solveSharesGraceful is the graceful first-phase solve shared by the
+// resilient run and the sharded runner's hoisted whole-instance solve.
+// A nil allocator solves on fresh single-worker state.
+func solveSharesGraceful(a *core.Allocator, inst *core.Instance, p Protocol) (core.SubflowAllocation, core.Delta, bool, error) {
+	if a == nil {
+		a = core.NewAllocatorWorkers(1)
+	}
+	switch p {
 	case Protocol80211:
-		return nil, false, nil
+		return nil, core.Delta{}, false, nil
 	case ProtocolTwoTier:
-		return core.TwoTierAllocate(sub), false, nil
+		return core.TwoTierAllocate(inst), core.Delta{}, false, nil
 	case Protocol2PAC, ProtocolDFS:
-		alloc, delta, degraded, err := r.alloc.GracefulCentralizedDelta(sub, core.CentralizedOptions{Refine: true})
+		alloc, delta, degraded, err := a.GracefulCentralizedDelta(inst, core.CentralizedOptions{Refine: true})
 		if err != nil {
-			return nil, false, err
+			return nil, core.Delta{}, false, err
 		}
-		r.rep.GroupSolves += int64(delta.Solved)
-		r.rep.GroupReuses += int64(delta.Reused)
-		return alloc.Uniform(sub.Flows), degraded, nil
+		return alloc.Uniform(inst.Flows), delta, degraded, nil
 	case Protocol2PAD:
-		alloc, degraded, err := r.alloc.GracefulDistributed(sub)
+		alloc, degraded, err := a.GracefulDistributed(inst)
 		if err != nil {
-			return nil, false, err
+			return nil, core.Delta{}, false, err
 		}
-		return alloc.Uniform(sub.Flows), degraded, nil
+		return alloc.Uniform(inst.Flows), core.Delta{}, degraded, nil
 	default:
-		return nil, false, fmt.Errorf("netsim: unknown protocol %d", int(r.cfg.Protocol))
+		return nil, core.Delta{}, false, fmt.Errorf("netsim: unknown protocol %d", int(p))
 	}
 }
 
@@ -744,7 +767,10 @@ func (r *resilience) checkInvariants() {
 			bound = r.cfg.QueueCap * max(1, ts.NumQueues())
 		}
 		if got := sched.Backlog(); got > bound {
-			r.violation(now, fmt.Sprintf("queue bound: node %d backlog %d > %d", i, got, bound))
+			// Named, not indexed: names are stable across shard/global
+			// node numbering, so the violation text matches either way.
+			r.violation(now, fmt.Sprintf("queue bound: node %s backlog %d > %d",
+				r.inst.Topo.Name(topology.NodeID(i)), got, bound))
 		}
 	}
 }

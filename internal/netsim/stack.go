@@ -1,8 +1,6 @@
 package netsim
 
 import (
-	"math/rand"
-
 	"e2efair/internal/core"
 	"e2efair/internal/mac"
 	"e2efair/internal/phy"
@@ -45,15 +43,21 @@ func NewStackWith(a *core.Allocator, inst *core.Instance, cfg Config, hooks mac.
 			return nil, err
 		}
 	}
-	eng := sim.NewEngine()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	eng := cfg.eng
+	if eng == nil {
+		eng = sim.NewEngine()
+	} else {
+		eng.Reset()
+	}
 	ch, err := phy.NewChannel(cfg.BitRate)
 	if err != nil {
 		return nil, err
 	}
-	medium, err := mac.NewMedium(eng, inst.Topo, rng, mac.Config{
+	medium, err := mac.NewMedium(eng, inst.Topo, mac.Config{
 		Channel:        ch,
 		RetryLimit:     cfg.RetryLimit,
+		Seed:           cfg.Seed,
+		NodeIDs:        cfg.nodeIDs,
 		Tracer:         cfg.Tracer,
 		DeadAfterDrops: cfg.DeadAfterDrops,
 	}, hooks)

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"fmt"
+
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+	"e2efair/internal/geom"
+	"e2efair/internal/topology"
+)
+
+// Tiled lays `copies` disjoint replicas of a geometric scenario side by
+// side, spacing the tiles so that no node of one tile is within
+// interference range of any node of another. The result is a single
+// instance whose radio-component structure is exactly `copies`
+// components (one per tile, assuming the base is one component) — the
+// workload shape the component-sharded simulator parallelizes, and the
+// multi-component scenario the sharding benchmarks run on.
+//
+// Tile t's nodes are named "t<t>." plus the base name and keep the base
+// scenario's relative geometry; its flows are the base flows with IDs
+// prefixed "T<t>:". Tile 0 reproduces the base scenario verbatim
+// (modulo names), so per-tile results of a tiled run are directly
+// comparable to base-scenario runs.
+func Tiled(base *Scenario, copies int) (*Scenario, error) {
+	if base.Topo == nil {
+		return nil, fmt.Errorf("scenario: Tiled needs a geometric base, %s is abstract", base.Name)
+	}
+	if copies < 1 {
+		return nil, fmt.Errorf("scenario: Tiled needs at least one copy, got %d", copies)
+	}
+	n := base.Topo.NumNodes()
+	minX, maxX := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		p := base.Topo.Position(topology.NodeID(i))
+		if i == 0 || p.X < minX {
+			minX = p.X
+		}
+		if i == 0 || p.X > maxX {
+			maxX = p.X
+		}
+	}
+	// Twice the interference range on top of the tile's own width keeps
+	// every cross-tile pair strictly out of carrier-sense range.
+	stride := (maxX - minX) + 2*base.Topo.InterferenceRange() + 1
+
+	b := topology.NewBuilder(base.Topo.TxRange(), base.Topo.InterferenceRange())
+	for t := 0; t < copies; t++ {
+		for i := 0; i < n; i++ {
+			var p geom.Point = base.Topo.Position(topology.NodeID(i))
+			b.Add(fmt.Sprintf("t%d.%s", t, base.Topo.Name(topology.NodeID(i))),
+				p.X+float64(t)*stride, p.Y)
+		}
+	}
+	topo, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	var flows []*flow.Flow
+	for t := 0; t < copies; t++ {
+		for _, f := range base.Flows.Flows() {
+			path := make([]topology.NodeID, len(f.Path()))
+			for j, node := range f.Path() {
+				path[j] = topology.NodeID(t*n + int(node))
+			}
+			nf, err := flow.New(flow.ID(fmt.Sprintf("T%d:%s", t, f.ID())), f.Weight(), path)
+			if err != nil {
+				return nil, err
+			}
+			flows = append(flows, nf)
+		}
+	}
+	set, err := flow.NewSet(flows...)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := core.NewInstance(topo, set)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s-x%d", base.Name, copies)
+	return &Scenario{Name: name, Topo: topo, Flows: set, Inst: inst}, nil
+}

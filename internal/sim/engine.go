@@ -185,6 +185,24 @@ func (e *Engine) After(delay Time, phase Phase, fn func()) error {
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Reset returns the engine to its initial state — time zero, empty
+// queue, sequence zero — while keeping the heap storage and moving any
+// pending events onto the free list. A reset engine is
+// indistinguishable from a fresh NewEngine to callers (the free list
+// only recycles memory, never behavior), so sweep workers and
+// per-epoch re-runs can reuse one engine instead of reallocating the
+// queue each job.
+func (e *Engine) Reset() {
+	for _, ev := range e.events {
+		e.recycle(ev)
+	}
+	clear(e.events)
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+}
+
 // Run executes events in order until the queue empties or the next
 // event is past the horizon. Events scheduled exactly at the horizon
 // still run. It returns the number of events executed.

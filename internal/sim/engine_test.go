@@ -166,3 +166,71 @@ func TestSeconds(t *testing.T) {
 		t.Errorf("Seconds = %g", got)
 	}
 }
+
+func TestReset(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	for i := 0; i < 8; i++ {
+		i := i
+		_ = e.Schedule(Time(10*i), 0, func() { fired = append(fired, i) })
+	}
+	e.Run(35) // leaves events 4..7 pending
+	if len(fired) != 4 {
+		t.Fatalf("pre-reset ran %d events, want 4", len(fired))
+	}
+	e.Reset()
+	if e.Now() != 0 {
+		t.Errorf("Now = %d after Reset, want 0", e.Now())
+	}
+	// Pending events must be gone and time 0 schedulable again.
+	fired = fired[:0]
+	_ = e.Schedule(5, 0, func() { fired = append(fired, -1) })
+	n := e.Run(100)
+	if n != 1 || len(fired) != 1 || fired[0] != -1 {
+		t.Errorf("post-reset run: n=%d fired=%v, want just the new event", n, fired)
+	}
+}
+
+// TestResetRecyclesEvents pins the point of Reset: after a warm-up
+// run, a reset engine re-runs the same workload without growing the
+// heap or allocating new event records.
+func TestResetRecyclesEvents(t *testing.T) {
+	e := NewEngine()
+	work := func() {
+		for i := 0; i < 64; i++ {
+			_ = e.Schedule(Time(i), 0, func() {})
+		}
+		e.Run(1000)
+		e.Reset()
+	}
+	work() // warm free list and heap storage
+	allocs := testing.AllocsPerRun(10, work)
+	if allocs != 0 {
+		t.Errorf("reset-recycled workload allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestResetEquivalence: a reset engine must be indistinguishable from
+// a fresh one — same event count, same final clock — even when the
+// previous run left pending events behind.
+func TestResetEquivalence(t *testing.T) {
+	run := func(e *Engine) (int, Time) {
+		for i := 0; i < 16; i++ {
+			_ = e.Schedule(Time(7*i), Phase(i%3), func() {})
+		}
+		n := e.Run(50)
+		return n, e.Now()
+	}
+	fresh := NewEngine()
+	wantN, wantNow := run(fresh)
+
+	reused := NewEngine()
+	_ = reused.Schedule(3, 0, func() {})
+	_ = reused.Schedule(999, 0, func() {}) // stays pending
+	reused.Run(10)
+	reused.Reset()
+	gotN, gotNow := run(reused)
+	if gotN != wantN || gotNow != wantNow {
+		t.Errorf("reset engine ran (%d, %d), fresh ran (%d, %d)", gotN, gotNow, wantN, wantNow)
+	}
+}

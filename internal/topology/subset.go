@@ -1,0 +1,32 @@
+package topology
+
+import "fmt"
+
+// Subset returns the sub-topology induced by the given member nodes:
+// local node i is members[i], keeping its name, position and the radio
+// ranges, so every range predicate (InTxRange, InInterferenceRange)
+// answers exactly as the parent topology does for the same nodes.
+// Members must be strictly ascending and in range.
+//
+// When the member set is interference-closed (a RadioComponentSet
+// component), the subset's radio behavior is *identical* to the
+// parent's restricted to those nodes: no outside node can reach or jam
+// any member, so a MAC simulated on the subset replays the parent
+// simulation of the component event for event. That closure is what
+// the sharded simulator builds on.
+func (t *Topology) Subset(members []NodeID) (*Topology, error) {
+	b := NewBuilder(t.txRange, t.infRange)
+	prev := NodeID(-1)
+	for _, id := range members {
+		if int(id) < 0 || int(id) >= len(t.nodes) {
+			return nil, fmt.Errorf("%w: id %d", ErrUnknownNode, id)
+		}
+		if id <= prev {
+			return nil, fmt.Errorf("topology: subset members must be strictly ascending (got %d after %d)", id, prev)
+		}
+		prev = id
+		n := t.nodes[id]
+		b.Add(n.Name, n.Pos.X, n.Pos.Y)
+	}
+	return b.Build()
+}

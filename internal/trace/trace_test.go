@@ -1,7 +1,6 @@
 package trace_test
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 
@@ -50,8 +49,7 @@ func TestWriterOnLiveMedium(t *testing.T) {
 	var buf strings.Builder
 	tr := trace.NewWriter(&buf, topo.Name)
 	eng := sim.NewEngine()
-	medium, err := mac.NewMedium(eng, topo, rand.New(rand.NewSource(1)),
-		mac.Config{Tracer: tr}, mac.Hooks{})
+	medium, err := mac.NewMedium(eng, topo, mac.Config{Tracer: tr, Seed: 1}, mac.Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}

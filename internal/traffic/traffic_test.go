@@ -2,7 +2,6 @@ package traffic
 
 import (
 	"errors"
-	"math/rand"
 	"testing"
 
 	"e2efair/internal/flow"
@@ -21,7 +20,7 @@ func setup(t *testing.T, queueCap int) (*sim.Engine, *mac.Medium, *flow.Flow, *i
 	eng := sim.NewEngine()
 	delivered := 0
 	var medium *mac.Medium
-	medium, err = mac.NewMedium(eng, topo, rand.New(rand.NewSource(1)), mac.Config{}, mac.Hooks{
+	medium, err = mac.NewMedium(eng, topo, mac.Config{Seed: 1}, mac.Hooks{
 		OnDelivered: func(p *mac.Packet, _ sim.Time) { delivered++ },
 	})
 	if err != nil {

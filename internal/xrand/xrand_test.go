@@ -1,0 +1,98 @@
+package xrand
+
+import "testing"
+
+// TestDeterminism pins the generator as a pure function of its seed.
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+	c := New(12346)
+	same := 0
+	d := New(12345)
+	for i := 0; i < 1000; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent seeds collided on %d of 1000 draws", same)
+	}
+}
+
+// TestNodeStreamIndependence checks the property the sharded simulator
+// rests on: a node's stream depends only on (run seed, global node ID),
+// never on which other nodes exist or in what order they were seeded.
+func TestNodeStreamIndependence(t *testing.T) {
+	r1 := NodeStream(7, 42)
+	// Same node reached via a different "seeding order" — NodeStream is
+	// stateless, so this is trivially equal; the test documents the
+	// contract.
+	r2 := NodeStream(7, 42)
+	for i := 0; i < 100; i++ {
+		if r1.Uint64() != r2.Uint64() {
+			t.Fatalf("node stream not a pure function of (seed, id)")
+		}
+	}
+	// Distinct nodes under one seed must not share a stream.
+	a, b := NodeStream(7, 0), NodeStream(7, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("node 0 and node 1 streams collided on %d of 1000 draws", same)
+	}
+	// Same node under different run seeds must differ too.
+	c, d := NodeStream(7, 5), NodeStream(8, 5)
+	if c.Uint64() == d.Uint64() && c.Uint64() == d.Uint64() {
+		t.Error("run seed does not separate node streams")
+	}
+}
+
+// TestIntn checks range and rejects invalid bounds.
+func TestIntn(t *testing.T) {
+	r := New(1)
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("Intn(8) = %d out of range", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 8; v++ {
+		// 10000 draws over 8 buckets: anything alive is fine, a dead
+		// bucket means the multiply-shift is broken.
+		if seen[v] == 0 {
+			t.Errorf("Intn(8) never produced %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+// TestFloat64 checks the unit-interval contract.
+func TestFloat64(t *testing.T) {
+	r := New(99)
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; mean < 0.45 || mean > 0.55 {
+		t.Errorf("mean of 10000 draws = %g, want ≈0.5", mean)
+	}
+}
