@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-lp bench-alloc bench-mac bench-topo bench-sim
+.PHONY: build test race bench bench-lp bench-alloc bench-mac bench-topo bench-sim bench-twin
 
 build:
 	$(GO) build ./...
@@ -51,3 +51,11 @@ bench-topo: build
 # match across all four rows (byte-identical sharding).
 bench-sim: build
 	$(GO) run ./cmd/benchtables -only sim -json BENCH_sim.json
+
+# Analytical-twin perf trajectory: prediction error vs the packet
+# simulator on the Fig. 6 golden stacks, the cost of one closed-form
+# estimate, and the epochs/s speedup of a twin-screened near-static
+# mobility sweep (must stay ≥10x over the unscreened baseline), written
+# to BENCH_twin.json.
+bench-twin: build
+	$(GO) run ./cmd/benchtables -only twin -json BENCH_twin.json

@@ -25,8 +25,10 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"os/exec"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -50,12 +52,27 @@ import (
 // Report is the machine-readable run summary written by -json: per
 // section, the paper metrics of every table row plus wall-clock
 // timings, so successive PRs can track the perf trajectory in
-// BENCH_*.json files.
+// BENCH_*.json files. Every report is stamped with the environment the
+// numbers were taken on — GOMAXPROCS, CPU count, and the git commit —
+// so cross-PR comparisons never mix machines or revisions silently.
 type Report struct {
 	DurationSec   float64    `json:"durationSec"`
 	Seed          int64      `json:"seed"`
+	GoMaxProcs    int        `json:"gomaxprocs"`
+	NumCPU        int        `json:"numCPU"`
+	GitSHA        string     `json:"gitSHA,omitempty"`
 	TotalWallSecs float64    `json:"totalWallSeconds"`
 	Sections      []*Section `json:"sections"`
+}
+
+// gitSHA stamps reports with the commit the numbers were taken at;
+// empty (and omitted from the JSON) outside a git checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // Section is one table or figure of the report.
@@ -78,7 +95,7 @@ func (s *Section) add(label string, values map[string]float64) {
 func main() {
 	duration := flag.Float64("duration", 200, "simulated seconds for Tables II/III (paper: 1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp, alloc, mac, topo, resilience, sim")
+	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp, alloc, mac, topo, resilience, sim, twin")
 	jsonPath := flag.String("json", "", "write machine-readable metrics and wall-clock timings to this file")
 	flag.Parse()
 	if err := run(*duration, *seed, *only, *jsonPath); err != nil {
@@ -97,9 +114,12 @@ func run(durationSec float64, seed int64, only, jsonPath string) error {
 		{"ideal", ideal}, {"transport", reliableTransport}, {"random", randomSweep},
 		{"mobility", mobilitySection}, {"lp", lpSection}, {"alloc", allocSection},
 		{"mac", macSection}, {"topo", topoSection}, {"resilience", resilienceSection},
-		{"sim", simSection},
+		{"sim", simSection}, {"twin", twinSection},
 	}
-	report := &Report{DurationSec: durationSec, Seed: seed}
+	report := &Report{
+		DurationSec: durationSec, Seed: seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), GitSHA: gitSHA(),
+	}
 	start := time.Now()
 	ran := false
 	for _, s := range sections {
@@ -1278,5 +1298,150 @@ func resilienceSection(durationSec float64, seed int64, sec *Section) error {
 		"mttrUs":         rep.MeanTimeToRepair().Seconds() * 1e6,
 		"violations":     float64(len(rep.Violations)),
 	})
+	return nil
+}
+
+// twinSection measures the analytical-twin fast path: closed-form
+// prediction error against the packet simulator on the golden Fig. 6
+// stacks, the cost of a single estimate, and the epochs/s speedup of a
+// twin-screened near-static mobility sweep over the unscreened
+// baseline (the screened epochs skip the event loop entirely; the
+// drift-control cadence still forces real simulations). Emitted to
+// BENCH_twin.json by `make bench-twin`.
+func twinSection(durationSec float64, seed int64, sec *Section) error {
+	fmt.Println("== Analytical twin: closed-form predictions vs packet simulation ==")
+	sc, err := scenario.Figure6()
+	if err != nil {
+		return err
+	}
+	dur := sim.Time(durationSec * float64(sim.Second))
+	fmt.Printf("%-9s%12s%12s%10s%12s\n", "protocol", "twinPkt", "simPkt", "relErr", "confidence")
+	for _, p := range []netsim.Protocol{
+		netsim.Protocol80211, netsim.ProtocolTwoTier, netsim.Protocol2PAC,
+		netsim.Protocol2PAD, netsim.ProtocolDFS,
+	} {
+		cfg := netsim.Config{Protocol: p, Duration: dur, Seed: seed}
+		r, err := netsim.Run(sc.Inst, cfg)
+		if err != nil {
+			return err
+		}
+		est, err := netsim.TwinEstimate(sc.Inst, cfg, r.Shares)
+		if err != nil {
+			return err
+		}
+		simPkt := float64(r.Stats.TotalEndToEnd())
+		relErr := math.Abs(est.TotalPkt-simPkt) / simPkt
+		confident := 0.0
+		if est.Confident {
+			confident = 1
+		}
+		fmt.Printf("%-9s%12.0f%12.0f%10.3f%12.2f\n", p, est.TotalPkt, simPkt, relErr, est.Confidence)
+		sec.add("crosscheck-fig6-"+p.String(), map[string]float64{
+			"twinTotalPkt":  est.TotalPkt,
+			"simTotalPkt":   simPkt,
+			"relErr":        relErr,
+			"twinLossRatio": est.LossRatio,
+			"simLossRatio":  r.Stats.LossRatio(),
+			"confidence":    est.Confidence,
+			"confident":     confident,
+		})
+	}
+
+	// The price of one closed-form estimate: O(cliques + hops), no event
+	// loop — this is what replaces a full epoch simulation when screening.
+	cfg2pac := netsim.Config{Protocol: netsim.Protocol2PAC, Duration: dur, Seed: seed}
+	run2pac, err := netsim.Run(sc.Inst, netsim.Config{Protocol: netsim.Protocol2PAC, Duration: sim.Second, Seed: seed})
+	if err != nil {
+		return err
+	}
+	estNs, err := nsPerOp(func() error {
+		_, err := netsim.TwinEstimate(sc.Inst, cfg2pac, run2pac.Shares)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("one estimate (fig6 2PA-C):       %10.0f ns/op\n", estNs)
+	sec.add("estimateCost", map[string]float64{"nsPerOp": estNs})
+
+	// Screened vs unscreened near-static mobility sweep: six crawling
+	// nodes, two short flows, spare channel capacity — the regime the
+	// twin short-circuits. The unscreened run simulates every epoch; the
+	// screened run simulates only the drift-control epochs, and its
+	// simulated epochs are byte-identical to the unscreened run's (pinned
+	// by internal/mobility's twin tests). Best of three runs each.
+	sweep := func(twinCfg *netsim.TwinConfig) mobility.Config {
+		return mobility.Config{
+			Nodes: 6,
+			Waypoint: mobility.WaypointConfig{
+				Width: 400, Height: 100, MinSpeed: 0.05, MaxSpeed: 0.2,
+			},
+			Flows: []mobility.FlowSpec{
+				{ID: "FA", Src: 0, Dst: 1},
+				{ID: "FB", Src: 2, Dst: 3},
+			},
+			Protocol: netsim.Protocol2PAC,
+			Epoch:    2 * sim.Second,
+			Duration: sim.Time(durationSec * float64(sim.Second)),
+			Seed:     seed,
+			// 60 pkt/s keeps the shared clique around 0.56 utilization —
+			// confidently below the twin's saturation gate.
+			Net: netsim.Config{Twin: twinCfg, PacketsPerS: 60},
+		}
+	}
+	timedSweep := func(cfg mobility.Config) (*mobility.Result, float64, error) {
+		if _, err := mobility.Run(cfg); err != nil { // warm off the clock
+			return nil, 0, err
+		}
+		best := math.Inf(1)
+		var res *mobility.Result
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			r, err := mobility.Run(cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			if wall := time.Since(start).Seconds(); wall < best {
+				best = wall
+				res = r
+			}
+		}
+		return res, best, nil
+	}
+
+	plainRes, plainWall, err := timedSweep(sweep(nil))
+	if err != nil {
+		return err
+	}
+	epochs := float64(len(plainRes.Epochs))
+	plainRate := epochs / plainWall
+	fmt.Printf("sweep unscreened:                %10.0f epochs/s  (%d epochs, all simulated)\n",
+		plainRate, len(plainRes.Epochs))
+	sec.add("sweep-unscreened", map[string]float64{
+		"epochs": epochs, "epochsPerS": plainRate, "delivered": float64(plainRes.TotalDelivered),
+	})
+
+	for _, tc := range []struct {
+		label string
+		every int
+	}{{"default-cadence", 0}, {"cadence-32", 32}} {
+		scrRes, scrWall, err := timedSweep(sweep(&netsim.TwinConfig{Every: tc.every}))
+		if err != nil {
+			return err
+		}
+		scrRate := epochs / scrWall
+		speedup := scrRate / plainRate
+		fmt.Printf("sweep screened (%-15s  %10.0f epochs/s  (%d screened / %d simulated)  speedup %5.1fx\n",
+			tc.label+"):", scrRate, scrRes.EpochsScreened, scrRes.EpochsSimulated, speedup)
+		sec.add("sweep-screened-"+tc.label, map[string]float64{
+			"epochs":            epochs,
+			"epochsPerS":        scrRate,
+			"epochsScreened":    float64(scrRes.EpochsScreened),
+			"epochsSimulated":   float64(scrRes.EpochsSimulated),
+			"speedup":           speedup,
+			"twinMinConfidence": scrRes.TwinMinConfidence,
+			"delivered":         float64(scrRes.TotalDelivered),
+		})
+	}
 	return nil
 }

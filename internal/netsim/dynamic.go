@@ -33,6 +33,12 @@ type DynamicResult struct {
 	GroupReuses int
 	// FinalShares is the allocation active when the run ended.
 	FinalShares core.SubflowAllocation
+	// Screened reports that the run was priced by the analytical twin
+	// (Config.Twin) instead of the packet simulator.
+	Screened bool
+	// TwinMinConfidence is the lowest twin confidence across the run's
+	// stationary segments when Screened; 1 when no segment was priced.
+	TwinMinConfidence float64
 }
 
 // RunDynamic simulates flow churn: at each event the set of active
@@ -43,6 +49,9 @@ type DynamicResult struct {
 // flows.
 func RunDynamic(inst *core.Instance, cfg Config, events []FlowEvent) (*DynamicResult, error) {
 	cfg = cfg.withDefaults()
+	if r, ok, err := runDynamicScreened(inst, cfg, events); ok || err != nil {
+		return r, err
+	}
 	if r, ok, err := runDynamicSharded(inst, cfg, events); ok {
 		return r, err
 	}

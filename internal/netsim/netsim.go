@@ -117,6 +117,13 @@ type Config struct {
 	// component rebuilds that shard only. Nil builds ephemeral shards
 	// per run.
 	Sharder *Sharder
+	// Twin enables analytical-twin screening: RunDynamic and
+	// mobility.Run price runs with the closed-form internal/twin
+	// estimator and only fall back to full packet simulation when the
+	// twin's confidence is low or the drift-control cadence (Every)
+	// forces a real run. Nil disables screening; single-run Run is
+	// never screened.
+	Twin *TwinConfig
 
 	// eng, when non-nil, is an engine recycled via Reset instead of
 	// allocating a fresh one — set by RunParallel and shard workers.

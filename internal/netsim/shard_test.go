@@ -474,3 +474,49 @@ func TestMergeHelpers(t *testing.T) {
 		t.Errorf("merged collector subflow count = %d, want 3", got)
 	}
 }
+
+// TestShardedCrashedComponentEquivalence crashes every node of one
+// radio component for essentially the whole run: the component still
+// shards, its engine simulates parked nodes without delivering
+// anything, and the sharded result stays byte-identical to the
+// single-engine run. This pins the degenerate shard shape — a
+// component containing only crashed nodes — end to end.
+func TestShardedCrashedComponentEquivalence(t *testing.T) {
+	s := tiledFig1(t, 2)
+	// Tile 1 occupies nodes 6..11; take the whole tile down at 1 ms,
+	// never to recover.
+	var faults []fault.NodeFault
+	for n := topology.NodeID(6); n <= 11; n++ {
+		faults = append(faults, fault.NodeFault{Node: n, Down: sim.Millisecond})
+	}
+	plan := &fault.Plan{Seed: 5, NodeFaults: faults}
+	cfg := netsim.Config{
+		Protocol: netsim.Protocol2PAC,
+		Duration: 3 * sim.Second,
+		Seed:     11,
+		Fault:    plan,
+	}
+	single, err := netsim.Run(s.Inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ShardSim = true
+	cfg.ShardWorkers = 4
+	sharded, err := netsim.Run(s.Inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderDeep(s, sharded), renderDeep(s, single); got != want {
+		t.Errorf("crashed-component sharded run diverged:\n got: %s\nwant: %s", got, want)
+	}
+	// Flows living on the crashed tile deliver at most a packet or two
+	// (whatever squeezed through before the 1 ms crash).
+	for _, f := range s.Flows.Flows() {
+		if f.Subflows()[0].Src < 6 {
+			continue
+		}
+		if n := sharded.Stats.EndToEnd(f.ID()); n > 2 {
+			t.Errorf("flow %s on the crashed component delivered %d packets", f.ID(), n)
+		}
+	}
+}

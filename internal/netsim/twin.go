@@ -1,0 +1,245 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+	"e2efair/internal/sim"
+	"e2efair/internal/stats"
+	"e2efair/internal/twin"
+)
+
+// DefaultTwinEvery is the drift-control cadence of twin screening: a
+// full packet simulation is forced every Nth epoch even when the twin
+// is confident, anchoring the analytical predictions against drift.
+const DefaultTwinEvery = 16
+
+// TwinConfig enables analytical-twin screening: epoch loops
+// (mobility.Run) and churn runs (RunDynamic) consult the closed-form
+// twin first and only fall back to full packet simulation when the
+// twin's self-reported confidence is low or the drift-control cadence
+// demands a real run. The zero value takes the defaults.
+type TwinConfig struct {
+	// Every forces a full simulation on every Nth epoch (mobility
+	// sweeps); <=0 selects DefaultTwinEvery. Epoch 0 always simulates.
+	Every int
+	// MaxUtil and MinConfidence forward to twin.Params when positive.
+	MaxUtil       float64
+	MinConfidence float64
+}
+
+// Cadence returns the drift-control cadence: epoch loops simulate
+// every Cadence()-th epoch regardless of twin confidence.
+func (tc *TwinConfig) Cadence() int {
+	if tc == nil || tc.Every <= 0 {
+		return DefaultTwinEvery
+	}
+	return tc.Every
+}
+
+// TwinEstimate prices one run analytically: the twin predicts per-flow
+// throughput, per-hop utilization and loss from the instance's
+// contention structure and the given first-phase shares, under this
+// config's channel and workload parameters. A nil shares map models
+// the unscheduled 802.11 MAC (low confidence by construction).
+func TwinEstimate(inst *core.Instance, cfg Config, shares core.SubflowAllocation) (*twin.Estimate, error) {
+	cfg = cfg.withDefaults()
+	p := twin.Params{
+		BitRate:      cfg.BitRate,
+		PayloadBytes: cfg.PayloadBytes,
+		PacketsPerS:  cfg.PacketsPerS,
+		Duration:     cfg.Duration,
+		QueueCap:     cfg.QueueCap,
+		CWMin:        cfg.CWMin,
+		Shares:       shares,
+	}
+	if cfg.Fault != nil {
+		p.Lossy = true
+		p.LossRate = cfg.Fault.DefaultLoss
+	}
+	if cfg.Twin != nil {
+		p.MaxUtil = cfg.Twin.MaxUtil
+		p.MinConfidence = cfg.Twin.MinConfidence
+	}
+	return twin.EstimateInstance(inst, p)
+}
+
+// SolveShares computes the first-phase per-subflow allocation exactly
+// as Run would install it — same allocator seam, same solver order —
+// without running the packet simulator. Twin-screened epoch loops use
+// it so that their allocator and share-cache state evolve identically
+// to an unscreened run, keeping the epochs that do simulate
+// byte-identical.
+func SolveShares(a *core.Allocator, inst *core.Instance, p Protocol) (core.SubflowAllocation, error) {
+	return sharesForWith(a, inst, p)
+}
+
+// errTwinUnconfident aborts the screened fast path in favor of a full
+// packet simulation; it never escapes this package.
+var errTwinUnconfident = errors.New("netsim: twin unconfident")
+
+// runDynamicScreened is the analytical fast path of RunDynamic: the
+// run is piecewise stationary between churn events, so each segment is
+// priced by the twin under the shares the segment's active-flow set is
+// allocated. Returns ok=false — fall back to the packet simulator —
+// when any segment's estimate is unconfident or the config carries
+// features the twin cannot model (traces, sampling, faults, watchdog).
+func runDynamicScreened(inst *core.Instance, cfg Config, events []FlowEvent) (*DynamicResult, bool, error) {
+	if cfg.Twin == nil || cfg.Tracer != nil || cfg.SampleEvery > 0 ||
+		cfg.Fault != nil || cfg.Watchdog {
+		return nil, false, nil
+	}
+	for _, ev := range events {
+		for _, id := range append(append([]flow.ID{}, ev.Start...), ev.Stop...) {
+			if _, err := inst.Flows.Get(id); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	// The t=0 allocation matches stack construction exactly: the
+	// installed override, or a solve over the full instance before any
+	// source is active (NewStack's path, outside the churn allocator —
+	// so GroupSolves/GroupReuses count the same delta solves as an
+	// unscreened run).
+	allocator := core.NewAllocator()
+	initShares := cfg.Shares
+	if initShares == nil {
+		var err error
+		initShares, err = sharesForWith(nil, inst, cfg.Protocol)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	res := &DynamicResult{Result: Result{
+		Protocol: cfg.Protocol,
+		Duration: cfg.Duration,
+		Stats:    stats.NewCollector(),
+		Shares:   initShares,
+	}}
+	res.Screened = true
+	res.FinalShares = initShares
+	res.TwinMinConfidence = 1
+
+	active := make(map[flow.ID]bool, inst.Flows.Len())
+	instCache := make(map[string]*core.Instance)
+	activeInstance := func() (*core.Instance, error) {
+		var flows []*flow.Flow
+		var key []byte
+		for _, f := range inst.Flows.Flows() {
+			if active[f.ID()] {
+				flows = append(flows, f)
+				key = append(key, f.ID()...)
+				key = append(key, 0)
+			}
+		}
+		if len(flows) == 0 {
+			return nil, nil
+		}
+		if sub, ok := instCache[string(key)]; ok {
+			return sub, nil
+		}
+		set, err := flow.NewSet(flows...)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := core.NewInstance(inst.Topo, set)
+		if err != nil {
+			return nil, err
+		}
+		instCache[string(key)] = sub
+		return sub, nil
+	}
+
+	shares := initShares
+	segment := func(from, to sim.Time) error {
+		if to <= from {
+			return nil
+		}
+		sub, err := activeInstance()
+		if err != nil {
+			return err
+		}
+		if sub == nil {
+			return nil
+		}
+		segCfg := cfg
+		segCfg.Duration = to - from
+		est, err := TwinEstimate(sub, segCfg, shares)
+		if err != nil {
+			return err
+		}
+		if est.Confidence < res.TwinMinConfidence {
+			res.TwinMinConfidence = est.Confidence
+		}
+		if !est.Confident {
+			return errTwinUnconfident
+		}
+		secs := segCfg.Duration.Seconds()
+		for _, fe := range est.Flows {
+			res.Stats.AddEndToEnd(fe.ID, int64(math.Round(fe.ThroughputPPS*secs)))
+			for _, he := range fe.Hops {
+				res.Stats.AddSubflowDelivered(he.ID, int64(math.Round(he.ServedPPS*secs)))
+			}
+			res.Stats.AddLost(int64(math.Round(fe.LossPPS*secs)), 0)
+		}
+		return nil
+	}
+
+	// Segment the run at event boundaries, in time order (stable for
+	// simultaneous events, matching engine FIFO order).
+	order := make([]int, len(events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return events[order[a]].At < events[order[b]].At })
+
+	prev := sim.Time(0)
+	for _, i := range order {
+		ev := events[i]
+		if ev.At > cfg.Duration {
+			break
+		}
+		if err := segment(prev, ev.At); err != nil {
+			if errors.Is(err, errTwinUnconfident) {
+				return nil, false, nil
+			}
+			return nil, false, err
+		}
+		prev = ev.At
+		for _, id := range ev.Stop {
+			active[id] = false
+		}
+		for _, id := range ev.Start {
+			active[id] = true
+		}
+		// Reallocate over the active set, mirroring RunDynamic's
+		// per-event re-solve (including its churn-delta accounting).
+		if cfg.Protocol != Protocol80211 {
+			sub, err := activeInstance()
+			if err != nil {
+				return nil, false, err
+			}
+			if sub != nil {
+				newShares, delta, err := sharesForDelta(allocator, sub, cfg.Protocol)
+				if err != nil {
+					return nil, false, err
+				}
+				res.GroupSolves += delta.Solved
+				res.GroupReuses += delta.Reused
+				res.Reallocations++
+				res.FinalShares = newShares
+				shares = newShares
+			}
+		}
+	}
+	if err := segment(prev, cfg.Duration); err != nil {
+		if errors.Is(err, errTwinUnconfident) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return res, true, nil
+}

@@ -1,0 +1,250 @@
+package netsim_test
+
+// Cross-check oracle for the analytical twin: on the same two golden
+// scenarios and five protocol stacks pinned by determinism_test.go,
+// the twin's closed-form predictions must stay within calibrated
+// tolerance bands of the simulated throughput and loss. The bands are
+// documented in DESIGN.md §9 and asserted here; CI runs this test in
+// the twin-crosscheck job so any datapath or model change that drifts
+// the two apart is caught immediately.
+
+import (
+	"math"
+	"testing"
+
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+	"e2efair/internal/netsim"
+	"e2efair/internal/scenario"
+	"e2efair/internal/sim"
+	"e2efair/internal/topology"
+)
+
+// Calibrated divergence tolerances (DESIGN.md §9). The twin is a
+// fluid-flow model: it ignores collision overhead, backoff variance
+// and queue dynamics, so per-flow error is widest on stacks whose
+// schedulers only approximately enforce shares (DFS) and on the
+// unscheduled 802.11 MAC, where per-hop unfairness — the paper's
+// motivating pathology — makes per-flow prediction meaningless and
+// only the aggregate is checked.
+// Measured on the goldens (10 s, seed 1): scheduled non-DFS totals
+// err up to 0.254 (fig1 2PA-C/D, a fully saturated clique — flagged
+// unconfident at 0.42), per-flow up to 0.434; 802.11/DFS totals up to
+// 0.430; scheduled non-DFS loss-ratio |Δ| up to 0.196. The bands add
+// ~20% headroom over the worst measurement. Loss ratio is not
+// asserted for 802.11/DFS: their in-flight loss is driven by the
+// per-hop unfairness collapse the fluid model cannot see (sim loss
+// ratios above 1.0 on fig1).
+const (
+	twinTotalTolScheduled = 0.30 // |pred−sim|/sim on total end-to-end packets
+	twinTotalTolLoose     = 0.50 // 802.11 and DFS aggregates
+	twinPerFlowTol        = 0.50 // scheduled non-DFS stacks, per-flow end-to-end
+	twinLossRatioTol      = 0.25 // absolute |Δ| loss ratio, scheduled non-DFS only
+)
+
+func twinRelErr(pred, sim float64) float64 {
+	if sim == 0 {
+		if pred == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(pred-sim) / sim
+}
+
+// TestTwinGoldenCrossCheck prices every golden (scenario, protocol)
+// pair with the twin and compares against the simulated counts.
+func TestTwinGoldenCrossCheck(t *testing.T) {
+	scens := map[string]func() (*scenario.Scenario, error){
+		"fig1": scenario.Figure1,
+		"fig6": scenario.Figure6,
+	}
+	for sname, build := range scens {
+		s, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", sname, err)
+		}
+		for _, proto := range allProtocols {
+			t.Run(sname+"/"+proto.String(), func(t *testing.T) {
+				cfg := netsim.Config{Protocol: proto, Duration: goldenDuration, Seed: 1}
+				run, err := netsim.Run(s.Inst, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				est, err := netsim.TwinEstimate(s.Inst, cfg, run.Shares)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				scheduled := run.Shares != nil
+				loose := !scheduled || proto == netsim.ProtocolDFS
+				totalTol := twinTotalTolScheduled
+				if loose {
+					totalTol = twinTotalTolLoose
+				}
+
+				simTotal := float64(run.Stats.TotalEndToEnd())
+				if e := twinRelErr(est.TotalPkt, simTotal); e > totalTol {
+					t.Errorf("total end-to-end: twin %.0f vs sim %.0f (rel err %.3f > %.2f)",
+						est.TotalPkt, simTotal, e, totalTol)
+				} else {
+					t.Logf("total: twin %.0f sim %.0f relErr %.3f", est.TotalPkt, simTotal, e)
+				}
+
+				if scheduled && proto != netsim.ProtocolDFS {
+					for _, fe := range est.Flows {
+						simF := float64(run.Stats.EndToEnd(fe.ID))
+						if e := twinRelErr(fe.Packets, simF); e > twinPerFlowTol {
+							t.Errorf("flow %s: twin %.0f vs sim %.0f (rel err %.3f > %.2f)",
+								fe.ID, fe.Packets, simF, e, twinPerFlowTol)
+						} else {
+							t.Logf("flow %s: twin %.0f sim %.0f relErr %.3f", fe.ID, fe.Packets, simF, e)
+						}
+					}
+				}
+
+				if !loose {
+					simLoss := run.Stats.LossRatio()
+					if d := math.Abs(est.LossRatio - simLoss); d > twinLossRatioTol {
+						t.Errorf("loss ratio: twin %.4f vs sim %.4f (|Δ| %.4f > %.2f)",
+							est.LossRatio, simLoss, d, twinLossRatioTol)
+					} else {
+						t.Logf("loss ratio: twin %.4f sim %.4f", est.LossRatio, simLoss)
+					}
+				}
+
+				if !scheduled && est.Confident {
+					t.Errorf("802.11 estimate claims confidence %.2f (Confident=true); clique-fair fallback must be unconfident", est.Confidence)
+				}
+				if scheduled && proto != netsim.ProtocolDFS && !est.Confident {
+					t.Logf("note: unconfident on scheduled stack: %v (confidence %.2f)", est.Reasons, est.Confidence)
+				}
+			})
+		}
+	}
+}
+
+// dynTwinScenario builds two non-contending one-hop flows: each runs
+// at full channel share, offered 200 pkt/s against ~319 pkt/s service,
+// so the twin is confident and RunDynamic's screened fast path
+// engages.
+func dynTwinScenario(t *testing.T) *core.Instance {
+	t.Helper()
+	topo, err := topology.NewBuilder(topology.DefaultRange, 0).
+		Add("A", 0, 0).Add("B", 100, 0).
+		Add("C", 2000, 0).Add("D", 2100, 0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := flow.New("FA", 1, []topology.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := flow.New("FB", 1, []topology.NodeID{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := flow.NewSet(fa, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := core.NewInstance(topo, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestRunDynamicScreened pins the churn fast path: a confident twin
+// prices the run segment-by-segment without an event loop, the churn
+// accounting (reallocations, group solves/reuses) matches the
+// simulated run exactly, and the predicted totals stay within 10% of
+// the simulation.
+func TestRunDynamicScreened(t *testing.T) {
+	inst := dynTwinScenario(t)
+	events := []netsim.FlowEvent{
+		{At: 0, Start: []flow.ID{"FA", "FB"}},
+		{At: 3 * sim.Second, Stop: []flow.ID{"FB"}},
+		{At: 6 * sim.Second, Start: []flow.ID{"FB"}},
+	}
+	base := netsim.Config{Protocol: netsim.Protocol2PAC, Duration: 10 * sim.Second, Seed: 1}
+
+	ref, err := netsim.RunDynamic(inst, base, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Screened {
+		t.Fatal("unscreened run reported Screened")
+	}
+
+	twinCfg := base
+	twinCfg.Twin = &netsim.TwinConfig{}
+	scr, err := netsim.RunDynamic(inst, twinCfg, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scr.Screened {
+		t.Fatalf("twin-enabled run was not screened (min confidence %.2f)", scr.TwinMinConfidence)
+	}
+
+	if scr.Reallocations != ref.Reallocations || scr.GroupSolves != ref.GroupSolves || scr.GroupReuses != ref.GroupReuses {
+		t.Errorf("churn accounting diverged: screened realloc=%d solves=%d reuses=%d, sim realloc=%d solves=%d reuses=%d",
+			scr.Reallocations, scr.GroupSolves, scr.GroupReuses,
+			ref.Reallocations, ref.GroupSolves, ref.GroupReuses)
+	}
+	for _, id := range []flow.ID{"FA", "FB"} {
+		pred := float64(scr.Stats.EndToEnd(id))
+		sim := float64(ref.Stats.EndToEnd(id))
+		if e := twinRelErr(pred, sim); e > 0.10 {
+			t.Errorf("flow %s: screened %v vs simulated %v (rel err %.3f > 0.10)", id, pred, sim, e)
+		}
+	}
+	t.Logf("screened FA=%d FB=%d vs simulated FA=%d FB=%d (confidence %.2f)",
+		scr.Stats.EndToEnd("FA"), scr.Stats.EndToEnd("FB"),
+		ref.Stats.EndToEnd("FA"), ref.Stats.EndToEnd("FB"), scr.TwinMinConfidence)
+}
+
+// TestRunDynamicScreeningDeclines pins the fallback: on the saturated
+// Figure 1 instance the twin is unconfident, so RunDynamic must run
+// the packet simulator and return a byte-identical result to the
+// twin-disabled run.
+func TestRunDynamicScreeningDeclines(t *testing.T) {
+	s, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []netsim.FlowEvent{
+		{At: 0, Start: []flow.ID{"F1", "F2"}},
+		{At: 4 * sim.Second, Stop: []flow.ID{"F1"}},
+	}
+	base := netsim.Config{Protocol: netsim.Protocol2PAC, Duration: 8 * sim.Second, Seed: 1}
+	ref, err := netsim.RunDynamic(instOf(t, s), base, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twinCfg := base
+	twinCfg.Twin = &netsim.TwinConfig{}
+	scr, err := netsim.RunDynamic(instOf(t, s), twinCfg, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scr.Screened {
+		t.Fatal("saturated instance was screened; the confidence gate must decline it")
+	}
+	if renderRun(s, &scr.Result) != renderRun(s, &ref.Result) {
+		t.Errorf("declined screening changed the simulated run:\nscreened: %s\nplain:    %s",
+			renderRun(s, &scr.Result), renderRun(s, &ref.Result))
+	}
+}
+
+// instOf rebuilds a scenario's instance fresh so cached state in one
+// run cannot leak into the next.
+func instOf(t *testing.T, s *scenario.Scenario) *core.Instance {
+	t.Helper()
+	inst, err := core.NewInstance(s.Topo, s.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}

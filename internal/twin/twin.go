@@ -1,0 +1,442 @@
+// Package twin is the analytical twin of the packet simulator: a
+// closed-form estimator that predicts per-flow end-to-end throughput,
+// per-hop utilization, queue backlog class and in-flight loss from the
+// contention structure and the allocated shares alone — no event loop,
+// O(cliques + hops) per instance.
+//
+// The model follows the general 802.11 multi-hop analytical framework
+// of Rezaei et al. (arXiv:1802.00162) specialized to this repo's MAC:
+// a subflow with allocated share s serves at most s/T̄ packets per
+// second, where T̄ is the mean channel time one packet occupies
+// (RTS/CTS/DATA/ACK exchange + DIFS + mean backoff); flow throughput
+// is the cascade min over hops of offered load against per-hop service
+// (Prop. 2 keeps the cascade exact per contending flow group, since
+// the shares already encode all cross-flow coupling). For stacks that
+// do not enforce shares (plain 802.11) the twin substitutes the
+// contention-fair share 1/|K_max(v)| of each subflow's largest clique;
+// those predictions carry low confidence by construction — per-hop
+// 802.11 unfairness is the paper's motivating pathology.
+//
+// Every estimate self-reports confidence. The screening pass in
+// netsim/mobility only trusts the twin when confidence is high:
+// utilization near clique capacity, lossy fault windows, unschedulable
+// share vectors and unscheduled MACs all force a fall back to full
+// packet simulation.
+package twin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+	"e2efair/internal/phy"
+	"e2efair/internal/sim"
+)
+
+var (
+	// ErrNilInstance is returned when the instance (or its graph) is nil.
+	ErrNilInstance = errors.New("twin: nil instance")
+	// ErrBadParams wraps non-finite or out-of-range parameters.
+	ErrBadParams = errors.New("twin: bad parameters")
+	// ErrBadShare wraps NaN/Inf/negative allocated shares.
+	ErrBadShare = errors.New("twin: bad share")
+	// ErrDegenerate wraps instances the model cannot price (no flows,
+	// flows without hops, a zero-capacity channel).
+	ErrDegenerate = errors.New("twin: degenerate instance")
+)
+
+// Backlog classifies a hop's queue regime under the predicted rates.
+type Backlog int
+
+const (
+	// BacklogDrain: offered load is comfortably below service; queues
+	// stay near empty.
+	BacklogDrain Backlog = iota
+	// BacklogBalanced: offered load is within balancedBand of service;
+	// queues hover and the min() prediction is sensitive.
+	BacklogBalanced
+	// BacklogSaturated: offered load exceeds service; the queue fills
+	// to capacity and overflow loss is sustained.
+	BacklogSaturated
+)
+
+// String names the backlog class.
+func (b Backlog) String() string {
+	switch b {
+	case BacklogDrain:
+		return "drain"
+	case BacklogBalanced:
+		return "balanced"
+	case BacklogSaturated:
+		return "saturated"
+	default:
+		return fmt.Sprintf("backlog(%d)", int(b))
+	}
+}
+
+// Default confidence thresholds and model bands.
+const (
+	// DefaultMaxUtil is the clique-utilization ceiling above which the
+	// estimate is flagged unconfident: near capacity, backoff collapse
+	// and queue coupling dominate and the linear model under-predicts
+	// loss.
+	DefaultMaxUtil = 0.9
+	// DefaultMinConfidence is the score below which Confident is false.
+	DefaultMinConfidence = 0.75
+	// balancedBand is the relative width around the offered/service
+	// crossover inside which a hop is classified Balanced and the
+	// prediction is penalized as boundary-sensitive.
+	balancedBand = 0.10
+)
+
+// Params carries the channel and workload parameters of the run being
+// predicted. Zero fields take the paper's defaults (2 Mbps, 512 B
+// payload, 200 pkt/s CBR, CWmin 31, queue 50).
+type Params struct {
+	BitRate      int64
+	PayloadBytes int
+	PacketsPerS  float64
+	Duration     sim.Time
+	QueueCap     int
+	CWMin        int
+	// Shares is the per-subflow allocation the phase-2 scheduler
+	// enforces; nil models an unscheduled contention MAC (802.11) via
+	// clique-fair shares, at low confidence.
+	Shares core.SubflowAllocation
+	// Lossy marks runs with active fault windows (frame corruption,
+	// crash/flap schedules); LossRate is the mean frame-loss rate used
+	// to derate service. Lossy estimates are never confident.
+	Lossy    bool
+	LossRate float64
+	// MaxUtil and MinConfidence override the confidence thresholds
+	// (defaults above) when positive.
+	MaxUtil       float64
+	MinConfidence float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.BitRate == 0 {
+		p.BitRate = phy.DefaultBitsPS
+	}
+	if p.PayloadBytes == 0 {
+		p.PayloadBytes = phy.PayloadBytes
+	}
+	if p.PacketsPerS == 0 {
+		p.PacketsPerS = 200
+	}
+	if p.Duration == 0 {
+		p.Duration = 1000 * sim.Second
+	}
+	if p.QueueCap == 0 {
+		p.QueueCap = 50
+	}
+	if p.CWMin == 0 {
+		p.CWMin = phy.DefaultCWMin
+	}
+	if p.MaxUtil == 0 {
+		p.MaxUtil = DefaultMaxUtil
+	}
+	if p.MinConfidence == 0 {
+		p.MinConfidence = DefaultMinConfidence
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	if p.BitRate < 0 {
+		return fmt.Errorf("%w: bit rate %d", ErrBadParams, p.BitRate)
+	}
+	if p.PayloadBytes < 0 {
+		return fmt.Errorf("%w: payload %d bytes", ErrBadParams, p.PayloadBytes)
+	}
+	if p.Duration < 0 {
+		return fmt.Errorf("%w: duration %d", ErrBadParams, p.Duration)
+	}
+	if p.QueueCap < 0 || p.CWMin < 0 {
+		return fmt.Errorf("%w: queueCap %d cwMin %d", ErrBadParams, p.QueueCap, p.CWMin)
+	}
+	for _, v := range []float64{p.PacketsPerS, p.LossRate, p.MaxUtil, p.MinConfidence} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("%w: non-finite or negative parameter %g", ErrBadParams, v)
+		}
+	}
+	if p.LossRate >= 1 {
+		return fmt.Errorf("%w: loss rate %g ≥ 1", ErrBadParams, p.LossRate)
+	}
+	return nil
+}
+
+// HopEstimate predicts one subflow (hop) of a flow.
+type HopEstimate struct {
+	ID flow.SubflowID
+	// OfferedPPS is the packet arrival rate at this hop (the upstream
+	// hop's served rate; the CBR rate at hop 0).
+	OfferedPPS float64
+	// ServicePPS is the hop's predicted service capacity.
+	ServicePPS float64
+	// ServedPPS = min(OfferedPPS, ServicePPS).
+	ServedPPS float64
+	// Share is the channel share the service rate derives from.
+	Share   float64
+	Backlog Backlog
+}
+
+// FlowEstimate predicts one flow end to end.
+type FlowEstimate struct {
+	ID flow.ID
+	// ThroughputPPS is the predicted end-to-end delivery rate; Packets
+	// integrates it over the run duration.
+	ThroughputPPS float64
+	Packets       float64
+	// LossPPS is the predicted in-flight loss rate (delivered upstream,
+	// dropped downstream); LossPkt integrates it.
+	LossPPS float64
+	LossPkt float64
+	// Bottleneck is the hop with the smallest service capacity.
+	Bottleneck flow.SubflowID
+	Hops       []HopEstimate
+}
+
+// Estimate is the twin's prediction for one instance.
+type Estimate struct {
+	Flows []FlowEstimate
+	// CliqueUtil is the predicted channel-time fraction consumed in
+	// each maximal clique, aligned with inst.Cliques; MaxCliqueUtil is
+	// its maximum.
+	CliqueUtil    []float64
+	MaxCliqueUtil float64
+	// TotalPPS/TotalPkt and LossPPS/LossPkt aggregate across flows.
+	TotalPPS float64
+	TotalPkt float64
+	LossPPS  float64
+	LossPkt  float64
+	// LossRatio is predicted in-flight loss over end-to-end deliveries,
+	// the paper's Table II/III ratio.
+	LossRatio float64
+	// PacketTime is the mean channel time one packet exchange occupies
+	// (seconds) — the T̄ of the service model.
+	PacketTime float64
+	// Confidence ∈ [0,1]; Confident applies the MinConfidence
+	// threshold. Reasons lists every penalty applied.
+	Confidence float64
+	Confident  bool
+	Reasons    []string
+}
+
+// Estimate predicts the run analytically. It never panics: malformed
+// inputs return classified errors (ErrBadParams, ErrBadShare,
+// ErrDegenerate, ErrNilInstance), and every returned number is finite.
+func EstimateInstance(inst *core.Instance, p Params) (*Estimate, error) {
+	if inst == nil || inst.Graph == nil || inst.Flows == nil {
+		return nil, ErrNilInstance
+	}
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if inst.Flows.Len() == 0 {
+		return nil, fmt.Errorf("%w: no flows", ErrDegenerate)
+	}
+	ch, err := phy.NewChannel(p.BitRate)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadParams, err)
+	}
+	// T̄: one RTS/CTS/DATA/ACK exchange, the DIFS deference, and the
+	// mean CWmin/2-slot backoff every acquisition pays.
+	tPkt := (ch.ExchangeTime(p.PayloadBytes) + phy.DIFS +
+		sim.Time(p.CWMin/2)*phy.SlotTime).Seconds()
+	if !(tPkt > 0) || math.IsInf(tPkt, 0) {
+		return nil, fmt.Errorf("%w: packet time %g s", ErrDegenerate, tPkt)
+	}
+	est := &Estimate{PacketTime: tPkt, Confidence: 1}
+
+	// Clique-fair shares for the unscheduled MAC: 1/|K_max(v)| of the
+	// largest maximal clique containing each vertex.
+	var cliqueShare map[flow.SubflowID]float64
+	if p.Shares == nil {
+		cliqueShare = make(map[flow.SubflowID]float64, inst.Graph.NumVertices())
+		for _, c := range inst.Cliques {
+			n := float64(len(c))
+			for _, v := range c {
+				id := inst.Graph.Subflow(v).ID
+				if s, ok := cliqueShare[id]; !ok || 1/n < s {
+					cliqueShare[id] = 1 / n
+				}
+			}
+		}
+	}
+	shareOf := func(id flow.SubflowID) (float64, error) {
+		var s float64
+		var ok bool
+		if p.Shares != nil {
+			s, ok = p.Shares[id]
+		} else {
+			s, ok = cliqueShare[id]
+		}
+		if !ok {
+			// Non-contending hop (absent from every clique, or a flow
+			// outside the installed allocation): full channel.
+			return 1, nil
+		}
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return 0, fmt.Errorf("%w: subflow %s share %g", ErrBadShare, id, s)
+		}
+		return s, nil
+	}
+
+	// Per-flow service cascade: arrivals at hop j are hop j−1's served
+	// rate; in-flight loss is the cascade's shortfall past hop 0.
+	derate := 1 - p.LossRate
+	served := make(map[flow.SubflowID]float64)
+	boundary := false
+	for _, f := range inst.Flows.Flows() {
+		if f.Length() == 0 {
+			return nil, fmt.Errorf("%w: flow %s has no hops", ErrDegenerate, f.ID())
+		}
+		fe := FlowEstimate{ID: f.ID(), Hops: make([]HopEstimate, 0, f.Length())}
+		arr := p.PacketsPerS
+		minCap := math.Inf(1)
+		for _, s := range f.Subflows() {
+			share, err := shareOf(s.ID)
+			if err != nil {
+				return nil, err
+			}
+			cap := share / tPkt * derate
+			out := math.Min(arr, cap)
+			he := HopEstimate{
+				ID: s.ID, OfferedPPS: arr, ServicePPS: cap,
+				ServedPPS: out, Share: share, Backlog: classify(arr, cap),
+			}
+			if he.Backlog == BacklogBalanced {
+				boundary = true
+			}
+			fe.Hops = append(fe.Hops, he)
+			served[s.ID] = out
+			if cap < minCap {
+				minCap = cap
+				fe.Bottleneck = s.ID
+			}
+			if s.ID.Hop > 0 {
+				fe.LossPPS += arr - out
+			}
+			arr = out
+		}
+		fe.ThroughputPPS = arr
+		fe.Packets = arr * p.Duration.Seconds()
+		fe.LossPkt = fe.LossPPS * p.Duration.Seconds()
+		est.TotalPPS += fe.ThroughputPPS
+		est.TotalPkt += fe.Packets
+		est.LossPPS += fe.LossPPS
+		est.LossPkt += fe.LossPkt
+		est.Flows = append(est.Flows, fe)
+	}
+	if est.TotalPPS > 0 {
+		est.LossRatio = est.LossPPS / est.TotalPPS
+	}
+
+	// Clique utilization under the predicted served rates, and the
+	// schedulability of the installed shares (Σ_{v∈k} s_v ≤ 1): shares
+	// can exceed clique capacity only through graceful degradation or
+	// caller-installed vectors, and then the linear model is invalid.
+	unschedulable := false
+	for _, c := range inst.Cliques {
+		var util, load float64
+		for _, v := range c {
+			id := inst.Graph.Subflow(v).ID
+			util += served[id] * tPkt
+			share, err := shareOf(id)
+			if err != nil {
+				return nil, err
+			}
+			load += share
+		}
+		est.CliqueUtil = append(est.CliqueUtil, util)
+		if util > est.MaxCliqueUtil {
+			est.MaxCliqueUtil = util
+		}
+		if load > 1+1e-9 {
+			unschedulable = true
+		}
+	}
+
+	// Confidence: multiplicative penalties, every reason recorded.
+	penalize := func(factor float64, reason string) {
+		est.Confidence *= factor
+		est.Reasons = append(est.Reasons, reason)
+	}
+	if p.Shares == nil {
+		penalize(0.4, "unscheduled contention MAC: per-hop 802.11 shares are clique-fair guesses")
+	}
+	if p.Lossy {
+		penalize(0.5, "lossy fault windows active: retries and repair are outside the linear model")
+	}
+	if est.MaxCliqueUtil > p.MaxUtil {
+		penalize(0.5, fmt.Sprintf("clique utilization %.2f exceeds %.2f: near-capacity backoff collapse unmodeled", est.MaxCliqueUtil, p.MaxUtil))
+	}
+	if unschedulable {
+		penalize(0.4, "unschedulable clique: installed shares exceed clique capacity")
+	}
+	if boundary {
+		penalize(0.85, "hops near the offered/service crossover: min() prediction is boundary-sensitive")
+	}
+	if math.IsNaN(est.Confidence) || est.Confidence < 0 {
+		est.Confidence = 0
+	}
+	est.Confident = est.Confidence >= p.MinConfidence
+	if err := est.checkFinite(); err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+// classify buckets a hop's queue regime.
+func classify(arr, cap float64) Backlog {
+	if arr > cap {
+		return BacklogSaturated
+	}
+	if cap > 0 && arr >= cap*(1-balancedBand) && arr > 0 {
+		return BacklogBalanced
+	}
+	return BacklogDrain
+}
+
+// checkFinite is the NaN/Inf backstop: a degenerate instance that
+// slipped past validation surfaces as a classified error, never as a
+// poisoned estimate.
+func (e *Estimate) checkFinite() error {
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+	for _, v := range []float64{e.TotalPPS, e.TotalPkt, e.LossPPS, e.LossPkt, e.LossRatio, e.MaxCliqueUtil, e.PacketTime, e.Confidence} {
+		if bad(v) {
+			return fmt.Errorf("%w: non-finite aggregate in estimate", ErrDegenerate)
+		}
+	}
+	for _, f := range e.Flows {
+		if bad(f.ThroughputPPS) || bad(f.Packets) || bad(f.LossPPS) || bad(f.LossPkt) {
+			return fmt.Errorf("%w: non-finite estimate for flow %s", ErrDegenerate, f.ID)
+		}
+		for _, h := range f.Hops {
+			if bad(h.OfferedPPS) || bad(h.ServicePPS) || bad(h.ServedPPS) || bad(h.Share) {
+				return fmt.Errorf("%w: non-finite estimate for hop %s", ErrDegenerate, h.ID)
+			}
+		}
+	}
+	for _, u := range e.CliqueUtil {
+		if bad(u) {
+			return fmt.Errorf("%w: non-finite clique utilization", ErrDegenerate)
+		}
+	}
+	return nil
+}
+
+// EndToEnd returns the predicted per-flow throughput as a
+// core.FlowAllocation-shaped map in packets over the run (rounded),
+// convenient for epoch accounting.
+func (e *Estimate) EndToEnd() map[flow.ID]int64 {
+	out := make(map[flow.ID]int64, len(e.Flows))
+	for _, f := range e.Flows {
+		out[f.ID] = int64(math.Round(f.Packets))
+	}
+	return out
+}

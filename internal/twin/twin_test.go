@@ -1,0 +1,181 @@
+package twin_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+	"e2efair/internal/scenario"
+	"e2efair/internal/twin"
+)
+
+func fig1Inst(t *testing.T) *core.Instance {
+	t.Helper()
+	s, err := scenario.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Inst
+}
+
+func TestNilInstance(t *testing.T) {
+	if _, err := twin.EstimateInstance(nil, twin.Params{}); !errors.Is(err, twin.ErrNilInstance) {
+		t.Fatalf("nil instance: got %v, want ErrNilInstance", err)
+	}
+}
+
+func TestBadParamsClassified(t *testing.T) {
+	inst := fig1Inst(t)
+	cases := map[string]twin.Params{
+		"nan rate":      {PacketsPerS: math.NaN()},
+		"inf rate":      {PacketsPerS: math.Inf(1)},
+		"negative rate": {PacketsPerS: -1},
+		"neg bitrate":   {BitRate: -5},
+		"neg payload":   {PayloadBytes: -1},
+		"neg duration":  {Duration: -1},
+		"neg queue":     {QueueCap: -2},
+		"loss one":      {LossRate: 1},
+		"nan loss":      {LossRate: math.NaN()},
+		"inf minconf":   {MinConfidence: math.Inf(1)},
+	}
+	for name, p := range cases {
+		if _, err := twin.EstimateInstance(inst, p); !errors.Is(err, twin.ErrBadParams) {
+			t.Errorf("%s: got %v, want ErrBadParams", name, err)
+		}
+	}
+}
+
+func TestBadSharesClassified(t *testing.T) {
+	inst := fig1Inst(t)
+	for name, v := range map[string]float64{"nan": math.NaN(), "inf": math.Inf(1), "negative": -0.25} {
+		shares := core.SubflowAllocation{flow.SubflowID{Flow: "F1", Hop: 1}: v}
+		if _, err := twin.EstimateInstance(inst, twin.Params{Shares: shares}); !errors.Is(err, twin.ErrBadShare) {
+			t.Errorf("%s share: got %v, want ErrBadShare", name, err)
+		}
+	}
+}
+
+// TestChainCascade hand-checks the service cascade on the Fig. 1
+// instance: with installed shares the bottleneck hop caps the flow at
+// share/T̄, upstream hops feed exactly that rate downstream, and the
+// shortfall past hop 0 is booked as in-flight loss.
+func TestChainCascade(t *testing.T) {
+	inst := fig1Inst(t)
+	shares := core.SubflowAllocation{
+		{Flow: "F1", Hop: 0}: 1.0, {Flow: "F1", Hop: 1}: 0.25,
+		{Flow: "F2", Hop: 0}: 0.25, {Flow: "F2", Hop: 1}: 0.25,
+	}
+	p := twin.Params{Shares: shares}
+	est, err := twin.EstimateInstance(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f1 *twin.FlowEstimate
+	for i := range est.Flows {
+		if est.Flows[i].ID == "F1" {
+			f1 = &est.Flows[i]
+		}
+	}
+	if f1 == nil {
+		t.Fatal("no estimate for F1")
+	}
+	cap1 := 0.25 / est.PacketTime
+	wantThr := math.Min(200, cap1)
+	if math.Abs(f1.ThroughputPPS-wantThr) > 1e-9 {
+		t.Errorf("F1 throughput %.4f, want min(200, 0.25/T̄) = %.4f", f1.ThroughputPPS, wantThr)
+	}
+	// Hop 0 runs at the offered rate (share 1.0), hop 1 throttles: the
+	// difference is in-flight loss.
+	wantLoss := 200 - wantThr
+	if math.Abs(f1.LossPPS-wantLoss) > 1e-9 {
+		t.Errorf("F1 loss %.4f pkt/s, want %.4f", f1.LossPPS, wantLoss)
+	}
+	if f1.Bottleneck != (flow.SubflowID{Flow: "F1", Hop: 1}) {
+		t.Errorf("F1 bottleneck %v, want F1.1", f1.Bottleneck)
+	}
+	if f1.Hops[1].Backlog != twin.BacklogSaturated {
+		t.Errorf("throttled hop classified %v, want saturated", f1.Hops[1].Backlog)
+	}
+	if est.TotalPkt != est.TotalPPS*p.Duration.Seconds() && p.Duration != 0 {
+		t.Errorf("TotalPkt %.1f inconsistent with TotalPPS %.3f", est.TotalPkt, est.TotalPPS)
+	}
+}
+
+func TestConfidencePenalties(t *testing.T) {
+	inst := fig1Inst(t)
+	// Clique-fair fallback (nil shares): never confident.
+	est, err := twin.EstimateInstance(inst, twin.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Confident {
+		t.Errorf("nil-share estimate confident at %.2f; clique-fair fallback must not be trusted", est.Confidence)
+	}
+	// Lossy fault windows: never confident, service derated.
+	lossFree, err := twin.EstimateInstance(inst, twin.Params{Shares: core.SubflowAllocation{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := twin.EstimateInstance(inst, twin.Params{Shares: core.SubflowAllocation{}, Lossy: true, LossRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.Confident {
+		t.Errorf("lossy estimate confident at %.2f", lossy.Confidence)
+	}
+	if lossy.Confidence >= lossFree.Confidence {
+		t.Errorf("lossy confidence %.2f not below fault-free %.2f", lossy.Confidence, lossFree.Confidence)
+	}
+	// Unschedulable shares (Σ over a clique > 1): flagged and penalized.
+	over := core.SubflowAllocation{
+		{Flow: "F1", Hop: 1}: 0.9, {Flow: "F2", Hop: 0}: 0.9, {Flow: "F2", Hop: 1}: 0.9,
+	}
+	bad, err := twin.EstimateInstance(inst, twin.Params{Shares: over})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Confident {
+		t.Errorf("unschedulable estimate confident at %.2f", bad.Confidence)
+	}
+	found := false
+	for _, r := range bad.Reasons {
+		if len(r) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("penalized estimate records no reasons")
+	}
+}
+
+func TestBacklogString(t *testing.T) {
+	for b, want := range map[twin.Backlog]string{
+		twin.BacklogDrain:     "drain",
+		twin.BacklogBalanced:  "balanced",
+		twin.BacklogSaturated: "saturated",
+		twin.Backlog(9):       "backlog(9)",
+	} {
+		if got := b.String(); got != want {
+			t.Errorf("Backlog(%d).String() = %q, want %q", int(b), got, want)
+		}
+	}
+}
+
+func TestEndToEndHelper(t *testing.T) {
+	inst := fig1Inst(t)
+	est, err := twin.EstimateInstance(inst, twin.Params{Duration: 10_000_000, Shares: core.SubflowAllocation{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2e := est.EndToEnd()
+	if len(e2e) != 2 {
+		t.Fatalf("EndToEnd has %d flows, want 2", len(e2e))
+	}
+	for _, fe := range est.Flows {
+		if got, want := e2e[fe.ID], int64(math.Round(fe.Packets)); got != want {
+			t.Errorf("EndToEnd[%s] = %d, want %d", fe.ID, got, want)
+		}
+	}
+}
