@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-lp bench-alloc bench-mac bench-topo bench-sim bench-twin
+.PHONY: build test race bench bench-lp bench-alloc bench-mac bench-topo bench-sim bench-twin bench-serve
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,14 @@ bench-topo: build
 # match across all four rows (byte-identical sharding).
 bench-sim: build
 	$(GO) run ./cmd/benchtables -only sim -json BENCH_sim.json
+
+# Serving-core perf trajectory: churn events/s for the per-event
+# CentralizedDelta baseline vs the batch-coalescing engine at batch
+# size 64 (speedup must stay ≥5x), the lock-free snapshot read path
+# (ns/op; must stay 0 allocs/op), and awaited register latency
+# percentiles, written to BENCH_serve.json.
+bench-serve: build
+	$(GO) run ./cmd/benchtables -only serve -json BENCH_serve.json
 
 # Analytical-twin perf trajectory: prediction error vs the packet
 # simulator on the Fig. 6 golden stacks, the cost of one closed-form

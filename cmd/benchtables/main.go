@@ -95,7 +95,7 @@ func (s *Section) add(label string, values map[string]float64) {
 func main() {
 	duration := flag.Float64("duration", 200, "simulated seconds for Tables II/III (paper: 1000)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp, alloc, mac, topo, resilience, sim, twin")
+	only := flag.String("only", "", "run one section: fig1, fig2, fig4, fig5, fig6, tableI, tableII, tableIII, ideal, transport, random, mobility, lp, alloc, mac, topo, resilience, sim, twin, serve")
 	jsonPath := flag.String("json", "", "write machine-readable metrics and wall-clock timings to this file")
 	flag.Parse()
 	if err := run(*duration, *seed, *only, *jsonPath); err != nil {
@@ -114,7 +114,7 @@ func run(durationSec float64, seed int64, only, jsonPath string) error {
 		{"ideal", ideal}, {"transport", reliableTransport}, {"random", randomSweep},
 		{"mobility", mobilitySection}, {"lp", lpSection}, {"alloc", allocSection},
 		{"mac", macSection}, {"topo", topoSection}, {"resilience", resilienceSection},
-		{"sim", simSection}, {"twin", twinSection},
+		{"sim", simSection}, {"twin", twinSection}, {"serve", serveSection},
 	}
 	report := &Report{
 		DurationSec: durationSec, Seed: seed,
@@ -727,12 +727,11 @@ func lpSection(_ float64, _ int64, sec *Section) error {
 	return nil
 }
 
-// allocClusteredInstances builds the sharded engine's benchmark shape:
+// allocClusteredWorkload builds the sharded engine's benchmark shape:
 // `clusters` spatially separated contention components (2 km apart,
 // far beyond the 250 m range), each carrying four coupled flows with
-// rng-drawn weights, plus the post-churn variant of the same topology
-// missing cluster 0's cross flow.
-func allocClusteredInstances(clusters int, seed int64) (*core.Instance, *core.Instance, error) {
+// rng-drawn weights. Shared by the alloc and serve sections.
+func allocClusteredWorkload(clusters int, seed int64) (*topology.Topology, []*flow.Flow, error) {
 	rng := rand.New(rand.NewSource(seed))
 	b := topology.NewBuilder(topology.DefaultRange, 0)
 	type pathSpec struct {
@@ -781,6 +780,17 @@ func allocClusteredInstances(clusters int, seed int64) (*core.Instance, *core.In
 			return nil, nil, err
 		}
 		all = append(all, f)
+	}
+	return topo, all, nil
+}
+
+// allocClusteredInstances derives the alloc section's instance pair
+// from the clustered workload: the full flow set, plus the post-churn
+// variant missing cluster 0's cross flow.
+func allocClusteredInstances(clusters int, seed int64) (*core.Instance, *core.Instance, error) {
+	topo, all, err := allocClusteredWorkload(clusters, seed)
+	if err != nil {
+		return nil, nil, err
 	}
 	build := func(flows []*flow.Flow) (*core.Instance, error) {
 		set, err := flow.NewSet(flows...)

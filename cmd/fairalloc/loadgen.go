@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"e2efair"
+)
+
+// loadResult is the load generator's report: one register+remove pair
+// per unit, with latency percentiles measured on the register call
+// (the path that waits for a batch commit).
+type loadResult struct {
+	Units        int     `json:"units"`
+	Events       int     `json:"events"` // registers + removes that succeeded
+	Rejected     int     `json:"rejected"`
+	Errors       int     `json:"errors"`
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"eventsPerSec"`
+	P50Ms        float64 `json:"p50Ms"`
+	P99Ms        float64 `json:"p99Ms"`
+}
+
+// runLoadGen drives a running fairallocd with register/remove churn
+// derived from the loaded network's flows: each unit registers a
+// uniquely-named clone of one template flow and then removes it.
+// Concurrency is the number of HTTP workers; within a worker events
+// are sequential, so per-flow ordering is preserved.
+func runLoadGen(net *e2efair.Network, baseURL string, units, concurrency int, out io.Writer, asJSON bool) error {
+	type template struct {
+		weight float64
+		path   []string
+	}
+	var templates []template
+	for _, id := range net.Flows() {
+		path, err := net.FlowPath(id)
+		if err != nil {
+			return err
+		}
+		w, err := net.FlowWeight(id)
+		if err != nil {
+			return err
+		}
+		templates = append(templates, template{weight: w, path: path})
+	}
+	if len(templates) == 0 {
+		return fmt.Errorf("load generator needs a spec or scenario with at least one flow")
+	}
+	if units < 1 {
+		units = 1
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		events    int
+		rejected  int
+		errCount  int
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				tpl := templates[u%len(templates)]
+				id := fmt.Sprintf("load-%d", u)
+				body, _ := json.Marshal(map[string]any{
+					"id": id, "weight": tpl.weight, "path": tpl.path,
+				})
+				t0 := time.Now()
+				resp, err := client.Post(baseURL+"/v1/flows", "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					errCount++
+				case resp.StatusCode == http.StatusCreated:
+					events++
+					latencies = append(latencies, lat)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected++
+				default:
+					errCount++
+				}
+				mu.Unlock()
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					continue
+				}
+				req, _ := http.NewRequest(http.MethodDelete, baseURL+"/v1/flows/"+id, nil)
+				resp, err = client.Do(req)
+				mu.Lock()
+				switch {
+				case err != nil:
+					errCount++
+				case resp.StatusCode == http.StatusNoContent:
+					events++
+				default:
+					errCount++
+				}
+				mu.Unlock()
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	for u := 0; u < units; u++ {
+		work <- u
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := loadResult{
+		Units:    units,
+		Events:   events,
+		Rejected: rejected,
+		Errors:   errCount,
+		Seconds:  elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		res.EventsPerSec = float64(events) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50Ms = float64(latencies[len(latencies)/2]) / float64(time.Millisecond)
+		p99 := (len(latencies)*99 + 99) / 100
+		if p99 > len(latencies) {
+			p99 = len(latencies)
+		}
+		res.P99Ms = float64(latencies[p99-1]) / float64(time.Millisecond)
+	}
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Fprintf(out, "load: %d units, %d events in %.2fs (%.0f events/s), %d rejected, %d errors\n",
+		res.Units, res.Events, res.Seconds, res.EventsPerSec, res.Rejected, res.Errors)
+	fmt.Fprintf(out, "register latency: p50 %.2fms  p99 %.2fms\n", res.P50Ms, res.P99Ms)
+	return nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLoadGenAgainstStub drives the load generator at a stub daemon
+// and checks the accounting: every unit registers and removes exactly
+// once, and the report carries throughput and latency percentiles.
+func TestLoadGenAgainstStub(t *testing.T) {
+	var mu sync.Mutex
+	registered := map[string]bool{}
+	var posts, deletes int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/flows":
+			var req struct {
+				ID     string   `json:"id"`
+				Weight float64  `json:"weight"`
+				Path   []string `json:"path"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" ||
+				len(req.Path) < 2 || req.Weight <= 0 {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			if registered[req.ID] {
+				w.WriteHeader(http.StatusConflict)
+				return
+			}
+			registered[req.ID] = true
+			posts++
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(map[string]any{"id": req.ID, "share": 0.25, "epoch": posts})
+		case r.Method == http.MethodDelete && strings.HasPrefix(r.URL.Path, "/v1/flows/"):
+			id := strings.TrimPrefix(r.URL.Path, "/v1/flows/")
+			if !registered[id] {
+				w.WriteHeader(http.StatusNotFound)
+				return
+			}
+			delete(registered, id)
+			deletes++
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-scenario", "figure6", "-daemon", srv.URL,
+		"-events", "24", "-concurrency", "3", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res loadResult
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("bad report %q: %v", out.String(), err)
+	}
+	if res.Units != 24 || res.Events != 48 || res.Errors != 0 || res.Rejected != 0 {
+		t.Fatalf("unexpected accounting: %+v", res)
+	}
+	if res.EventsPerSec <= 0 || res.P99Ms < res.P50Ms {
+		t.Fatalf("bad derived metrics: %+v", res)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if posts != 24 || deletes != 24 || len(registered) != 0 {
+		t.Fatalf("stub saw %d posts, %d deletes, %d leftovers", posts, deletes, len(registered))
+	}
+}
+
+// TestLoadGenRejectedCounting pins that 429s are counted as rejected,
+// not errors, and skip the paired remove.
+func TestLoadGenRejectedCounting(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	var out bytes.Buffer
+	if err := run([]string{
+		"-scenario", "figure6", "-daemon", srv.URL,
+		"-events", "5", "-concurrency", "1", "-json",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var res loadResult
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 5 || res.Events != 0 || res.Errors != 0 {
+		t.Fatalf("unexpected accounting: %+v", res)
+	}
+}

@@ -7,6 +7,11 @@
 //	fairalloc -scenario figure6
 //	fairalloc -spec network.json -strategy 2pa-c
 //	fairalloc -scenario figure1 -contention -json
+//
+// With -daemon it becomes a load generator instead: the spec's flows
+// are used as churn templates against a running fairallocd.
+//
+//	fairalloc -scenario figure6 -daemon http://127.0.0.1:8080 -events 1000 -concurrency 8
 package main
 
 import (
@@ -37,12 +42,18 @@ func run(args []string, out io.Writer) error {
 	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
 	report := fs.Bool("report", false, "print the full analysis report (bounds, bottlenecks)")
 	dot := fs.Bool("dot", false, "emit the contention graph in Graphviz DOT format")
+	daemonURL := fs.String("daemon", "", "load-generator mode: drive a running fairallocd at this base URL with churn from the spec's flows")
+	loadEvents := fs.Int("events", 200, "load generator: register+remove units to issue")
+	loadConc := fs.Int("concurrency", 4, "load generator: concurrent HTTP workers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	net, err := loadNetwork(*specPath, *scenarioName)
 	if err != nil {
 		return err
+	}
+	if *daemonURL != "" {
+		return runLoadGen(net, *daemonURL, *loadEvents, *loadConc, out, *asJSON)
 	}
 	if *dot {
 		fmt.Fprint(out, analysis.DOT(net.Instance()))

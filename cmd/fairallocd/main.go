@@ -1,0 +1,301 @@
+// Command fairallocd is the fair-allocation daemon: it loads a
+// topology (the node layout of a JSON network spec or a builtin
+// scenario), starts the batched serving engine of internal/serve, and
+// exposes flow registration and share lookup over HTTP/JSON.
+//
+// Usage:
+//
+//	fairallocd -scenario figure6 -addr :8080
+//	fairallocd -spec network.json -window 2ms -rate 500 -burst 100
+//
+// API:
+//
+//	POST   /v1/flows       {"id":"F1","weight":1,"path":["A","B","C"]}
+//	DELETE /v1/flows/{id}
+//	GET    /v1/shares      all published shares
+//	GET    /v1/shares/{id} one flow's share + shard epoch
+//	GET    /v1/stats       engine counters
+//	GET    /v1/healthz
+//
+// Registration returns once the flow's batch commits, so the share in
+// the response is already readable. SIGTERM/SIGINT drain gracefully:
+// in-flight HTTP requests finish, queued churn commits, then the
+// process exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"e2efair"
+	"e2efair/internal/flow"
+	"e2efair/internal/serve"
+	"e2efair/internal/topology"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	if err := run(os.Args[1:], os.Stdout, nil, sigs); err != nil {
+		fmt.Fprintln(os.Stderr, "fairallocd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a signal arrives and the
+// drain completes. If ready is non-nil it receives the bound listen
+// address once the server is accepting — the in-process test hook.
+func run(args []string, out io.Writer, ready chan<- string, sigs <-chan os.Signal) error {
+	fs := flag.NewFlagSet("fairallocd", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to a JSON network spec (nodes are used; flows arrive over HTTP)")
+	scenarioName := fs.String("scenario", "", fmt.Sprintf("builtin scenario %v", e2efair.BuiltinNames()))
+	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	window := fs.Duration("window", 0, "batch window shards hold open to coalesce churn (0 = drain-greedy)")
+	maxBatch := fs.Int("max-batch", 0, "max events per Instance rebuild (0 = unlimited)")
+	workers := fs.Int("workers", 0, "LP workers per shard allocator (0 = sequential)")
+	cacheCap := fs.Int("cache-cap", 0, "group-share cache entries per shard (0 = default)")
+	maxFlows := fs.Int("max-flows", 0, "admission: max live flows per shard (0 = unlimited)")
+	minShare := fs.Float64("min-share", 0, "admission: reject registers pushing the basic share below this")
+	rate := fs.Float64("rate", 0, "edge token bucket: churn requests per second (0 = unlimited)")
+	burst := fs.Float64("burst", 64, "edge token bucket: burst size")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, err := loadTopology(*specPath, *scenarioName)
+	if err != nil {
+		return err
+	}
+	eng, err := serve.New(serve.Config{
+		Topo:     topo,
+		Window:   *window,
+		MaxBatch: *maxBatch,
+		Workers:  *workers,
+		CacheCap: *cacheCap,
+		MaxFlows: *maxFlows,
+		MinShare: *minShare,
+	})
+	if err != nil {
+		return err
+	}
+	d := &daemon{
+		topo:   topo,
+		engine: eng,
+		bucket: serve.NewTokenBucket(*rate, *burst),
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		eng.Close()
+		return err
+	}
+	srv := &http.Server{Handler: d.mux()}
+	fmt.Fprintf(out, "fairallocd: %d nodes, %d shards, listening on %s\n",
+		topo.NumNodes(), eng.NumShards(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		eng.Close()
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(out, "fairallocd: %v, draining\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutdownErr := srv.Shutdown(ctx)
+	// In-flight handlers are done; drain the batch queues and stop the
+	// shard workers.
+	eng.Close()
+	st := eng.Stats()
+	fmt.Fprintf(out, "fairallocd: drained (%d events in %d batches, %d rebuilds)\n",
+		st.Events, st.Batches, st.Rebuilds)
+	return shutdownErr
+}
+
+// loadTopology builds the radio topology from the node layout of a
+// spec file or builtin scenario; any flows in the spec are ignored
+// (they arrive over HTTP).
+func loadTopology(specPath, scenarioName string) (*topology.Topology, error) {
+	var spec e2efair.NetworkSpec
+	switch {
+	case specPath != "" && scenarioName != "":
+		return nil, fmt.Errorf("pass either -spec or -scenario, not both")
+	case specPath != "":
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", specPath, err)
+		}
+	case scenarioName != "":
+		var err error
+		spec, err = e2efair.BuiltinSpec(scenarioName)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("pass -spec FILE or -scenario NAME (builtins: %v)", e2efair.BuiltinNames())
+	}
+	txRange := spec.TxRange
+	if txRange == 0 {
+		txRange = e2efair.DefaultTxRange
+	}
+	b := topology.NewBuilder(txRange, spec.InterferenceRange)
+	for _, n := range spec.Nodes {
+		b.Add(n.Name, n.X, n.Y)
+	}
+	return b.Build()
+}
+
+// daemon holds the HTTP layer's state: the engine, the name-keyed
+// topology for path resolution, and the edge rate limiter.
+type daemon struct {
+	topo   *topology.Topology
+	engine *serve.Engine
+	bucket *serve.TokenBucket
+}
+
+func (d *daemon) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/flows", d.handleRegister)
+	mux.HandleFunc("DELETE /v1/flows/{id}", d.handleRemove)
+	mux.HandleFunc("GET /v1/shares", d.handleShares)
+	mux.HandleFunc("GET /v1/shares/{id}", d.handleShare)
+	mux.HandleFunc("GET /v1/stats", d.handleStats)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// flowRequest is the POST /v1/flows body: the node-name form of
+// serve.FlowSpec. Weight defaults to 1.
+type flowRequest struct {
+	ID     string   `json:"id"`
+	Weight float64  `json:"weight,omitempty"`
+	Path   []string `json:"path"`
+}
+
+type shareResponse struct {
+	ID    string  `json:"id"`
+	Share float64 `json:"share"`
+	Epoch uint64  `json:"epoch"`
+}
+
+func (d *daemon) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if !d.bucket.Allow(1) {
+		writeError(w, http.StatusTooManyRequests, "churn rate limit exceeded")
+		return
+	}
+	var req flowRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, "flow id required")
+		return
+	}
+	if req.Weight == 0 {
+		req.Weight = 1
+	}
+	path := make([]topology.NodeID, len(req.Path))
+	for i, name := range req.Path {
+		id, err := d.topo.Lookup(name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		path[i] = id
+	}
+	err := d.engine.Register(serve.FlowSpec{ID: flow.ID(req.ID), Weight: req.Weight, Path: path})
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	share, epoch, _ := d.engine.GetShare(flow.ID(req.ID))
+	writeJSON(w, http.StatusCreated, shareResponse{ID: req.ID, Share: share, Epoch: epoch})
+}
+
+func (d *daemon) handleRemove(w http.ResponseWriter, r *http.Request) {
+	if !d.bucket.Allow(1) {
+		writeError(w, http.StatusTooManyRequests, "churn rate limit exceeded")
+		return
+	}
+	if err := d.engine.Remove(flow.ID(r.PathValue("id"))); err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (d *daemon) handleShares(w http.ResponseWriter, _ *http.Request) {
+	shares, epoch := d.engine.Shares()
+	out := struct {
+		Epoch  uint64             `json:"epoch"`
+		Shares map[string]float64 `json:"shares"`
+	}{Epoch: epoch, Shares: make(map[string]float64, len(shares))}
+	for id, x := range shares {
+		out.Shares[string(id)] = x
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (d *daemon) handleShare(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	share, epoch, ok := d.engine.GetShare(flow.ID(id))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown flow "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, shareResponse{ID: id, Share: share, Epoch: epoch})
+}
+
+func (d *daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, d.engine.Stats())
+}
+
+// writeEngineError maps the engine's typed errors onto HTTP statuses.
+func writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serve.ErrBadFlow):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, serve.ErrUnknownFlow):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, serve.ErrDuplicateFlow):
+		writeError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, serve.ErrAdmission):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, serve.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

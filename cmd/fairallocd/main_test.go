@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"e2efair"
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+)
+
+// TestDaemonSmoke is the end-to-end daemon test: start fairallocd
+// in-process on a random port, register the figure-6 flow set over
+// HTTP, check every share matches Allocator.Centralized on the same
+// instance bit-for-bit, exercise the error mapping, then SIGTERM and
+// verify a clean drain.
+func TestDaemonSmoke(t *testing.T) {
+	spec, err := e2efair.BuiltinSpec("figure6")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth: the same flow set solved directly.
+	net, err := e2efair.NewNetwork(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.NewAllocatorWorkers(1).Centralized(net.Instance(), core.CentralizedOptions{Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	sigs := make(chan os.Signal, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{"-scenario", "figure6", "-addr", "127.0.0.1:0"}, &out, ready, sigs)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	if resp, err := http.Get(base + "/v1/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+
+	// Register the paper's figure-6 flows over HTTP, in spec order so
+	// the engine's flow order matches the instance's.
+	for _, fspec := range spec.Flows {
+		body, _ := json.Marshal(flowRequest{ID: fspec.ID, Weight: fspec.Weight, Path: fspec.Path})
+		resp, err := http.Post(base+"/v1/flows", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got shareResponse
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register %s: status %d (%+v)", fspec.ID, resp.StatusCode, got)
+		}
+		if got.Epoch == 0 || got.Share <= 0 {
+			t.Fatalf("register %s: unpopulated response %+v", fspec.ID, got)
+		}
+	}
+
+	// Bulk shares must equal the direct solve bit-for-bit.
+	resp, err := http.Get(base + "/v1/shares")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all struct {
+		Epoch  uint64             `json:"epoch"`
+		Shares map[string]float64 `json:"shares"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(all.Shares) != len(want) {
+		t.Fatalf("daemon serves %d flows, want %d", len(all.Shares), len(want))
+	}
+	for id, x := range want {
+		got := all.Shares[string(id)]
+		if math.Float64bits(got) != math.Float64bits(x) {
+			t.Fatalf("flow %s: daemon %v != Centralized %v", id, got, x)
+		}
+	}
+
+	// Point lookup agrees with bulk.
+	var one shareResponse
+	first := flow.ID(spec.Flows[0].ID)
+	resp, err = http.Get(base + "/v1/shares/" + string(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&one); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if math.Float64bits(one.Share) != math.Float64bits(want[first]) {
+		t.Fatalf("point lookup %s: %v != %v", first, one.Share, want[first])
+	}
+
+	// Error mapping: duplicate → 409, unknown share → 404, unknown
+	// remove → 404, bad path → 400.
+	checkStatus := func(wantCode int, method, url string, body []byte) {
+		t.Helper()
+		req, _ := http.NewRequest(method, url, bytes.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("%s %s: status %d, want %d", method, url, resp.StatusCode, wantCode)
+		}
+	}
+	dup, _ := json.Marshal(flowRequest{ID: spec.Flows[0].ID, Path: spec.Flows[0].Path})
+	checkStatus(http.StatusConflict, http.MethodPost, base+"/v1/flows", dup)
+	checkStatus(http.StatusNotFound, http.MethodGet, base+"/v1/shares/nope", nil)
+	checkStatus(http.StatusNotFound, http.MethodDelete, base+"/v1/flows/nope", nil)
+	bad, _ := json.Marshal(flowRequest{ID: "bad", Path: []string{"no-such-node"}})
+	checkStatus(http.StatusBadRequest, http.MethodPost, base+"/v1/flows", bad)
+
+	// Stats reflect the churn so far.
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Registers uint64 `json:"registers"`
+		Rebuilds  uint64 `json:"rebuilds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Registers != uint64(len(spec.Flows)) || st.Rebuilds == 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+
+	// Remove one flow and confirm it disappears.
+	checkStatus(http.StatusNoContent, http.MethodDelete, base+"/v1/flows/"+string(first), nil)
+	checkStatus(http.StatusNotFound, http.MethodGet, base+"/v1/shares/"+string(first), nil)
+
+	// SIGTERM → graceful drain, run returns nil, port closed.
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if _, err := http.Get(base + "/v1/healthz"); err == nil {
+		t.Fatal("daemon still serving after drain")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("missing drain log in output:\n%s", out.String())
+	}
+}
+
+// TestLoadTopologyErrors pins flag validation.
+func TestLoadTopologyErrors(t *testing.T) {
+	if _, err := loadTopology("", ""); err == nil {
+		t.Fatal("want error with neither -spec nor -scenario")
+	}
+	if _, err := loadTopology("x.json", "figure6"); err == nil {
+		t.Fatal("want error with both -spec and -scenario")
+	}
+	if _, err := loadTopology("", "no-such-scenario"); err == nil {
+		t.Fatal("want error for unknown scenario")
+	}
+}
+
+// TestSpecFileTopology checks -spec file loading builds the node
+// layout (flows in the file are intentionally ignored).
+func TestSpecFileTopology(t *testing.T) {
+	spec := e2efair.NetworkSpec{
+		Nodes: []e2efair.NodeSpec{{Name: "A"}, {Name: "B", X: 200}, {Name: "C", X: 400}},
+		Flows: []e2efair.FlowSpec{{ID: "ignored", Path: []string{"A", "B"}}},
+	}
+	data, _ := json.Marshal(spec)
+	path := t.TempDir() + "/net.json"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := loadTopology(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumNodes() != 3 {
+		t.Fatalf("want 3 nodes, got %d", topo.NumNodes())
+	}
+	for _, name := range []string{"A", "B", "C"} {
+		if _, err := topo.Lookup(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

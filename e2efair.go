@@ -336,6 +336,15 @@ func (n *Network) Flows() []string {
 	return out
 }
 
+// FlowWeight returns a flow's weight w_i.
+func (n *Network) FlowWeight(id string) (float64, error) {
+	f, err := n.set.Get(flow.ID(id))
+	if err != nil {
+		return 0, err
+	}
+	return f.Weight(), nil
+}
+
 // FlowPath returns the node-name path of a flow.
 func (n *Network) FlowPath(id string) ([]string, error) {
 	f, err := n.set.Get(flow.ID(id))

@@ -25,10 +25,16 @@ type CentralizedOptions struct {
 type Delta struct {
 	// Groups is the number of contending flow groups in the instance.
 	Groups int
-	// Solved counts groups whose LPs were solved on this call.
+	// Solved counts groups whose LPs were solved on this call (cache
+	// misses).
 	Solved int
-	// Reused counts groups whose shares were copied from the cache.
+	// Reused counts groups whose shares were copied from the cache
+	// (cache hits).
 	Reused int
+	// Evicted counts cache entries this call's inserts pushed out of
+	// the size-capped LRU; see Allocator.SetGroupCacheCap. Eviction
+	// never changes results, only future Solved/Reused splits.
+	Evicted int
 }
 
 // CentralizedAllocate solves the paper's linear program (Sec. III-B,
@@ -77,12 +83,14 @@ func (a *Allocator) CentralizedDelta(inst *Instance, opts CentralizedOptions) (F
 }
 
 func (a *Allocator) centralized(inst *Instance, opts CentralizedOptions) (FlowAllocation, Delta, error) {
+	a.enterGuard()
+	defer a.exitGuard()
 	groups := inst.groups()
 	delta := Delta{Groups: len(groups)}
 	shares := make([][]float64, len(groups))
 	a.pending = a.pending[:0]
 	for gi, g := range groups {
-		if x, ok := a.groupCache[groupCacheKey{g.key, opts.Refine}]; ok {
+		if x, ok := a.cache.get(groupCacheKey{g.key, opts.Refine}); ok {
 			shares[gi] = x
 			delta.Reused++
 			continue
@@ -93,11 +101,8 @@ func (a *Allocator) centralized(inst *Instance, opts CentralizedOptions) (FlowAl
 		return nil, Delta{}, err
 	}
 	delta.Solved = len(a.pending)
-	if len(a.groupCache)+len(a.pending) > maxCachedGroups {
-		clear(a.groupCache)
-	}
 	for _, gi := range a.pending {
-		a.groupCache[groupCacheKey{groups[gi].key, opts.Refine}] = shares[gi]
+		delta.Evicted += a.cache.put(groupCacheKey{groups[gi].key, opts.Refine}, shares[gi])
 	}
 	out := make(FlowAllocation, inst.Flows.Len())
 	for gi, g := range groups {

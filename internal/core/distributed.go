@@ -73,6 +73,8 @@ func DistributedAllocate(inst *Instance) (*DistributedResult, error) {
 // so the outcome (shares, locals, and error) does not depend on the
 // worker count or on scheduling.
 func (a *Allocator) Distributed(inst *Instance) (*DistributedResult, error) {
+	a.enterGuard()
+	defer a.exitGuard()
 	// cliquesOf[v] = indices into inst.Cliques containing vertex v.
 	cliquesOf := make([][]int, inst.Graph.NumVertices())
 	for ci, c := range inst.Cliques {

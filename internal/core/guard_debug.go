@@ -1,0 +1,22 @@
+//go:build e2edebug
+
+package core
+
+// Debug builds (`-tags e2edebug`) arm a cheap reentrancy guard on
+// every public Allocator entry point: one atomic CAS on entry, one
+// store on exit. An Allocator is single-caller-at-a-time by design
+// (sessions, tableau scratch and the share cache are reused without
+// synchronization), so two goroutines inside one Allocator is always a
+// caller bug — the guard turns the silent scratch corruption it would
+// cause into an immediate, attributable panic. The supported
+// concurrent idiom is one-allocator-per-shard; see the Allocator doc.
+
+func (a *Allocator) enterGuard() {
+	if !a.busy.CompareAndSwap(0, 1) {
+		panic("core: concurrent use of one Allocator (use one Allocator per shard/goroutine)")
+	}
+}
+
+func (a *Allocator) exitGuard() {
+	a.busy.Store(0)
+}

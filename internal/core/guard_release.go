@@ -1,0 +1,13 @@
+//go:build !e2edebug
+
+package core
+
+// In release builds the Allocator reentrancy guard compiles to empty
+// functions: concurrent use of one Allocator is a caller bug (see the
+// Allocator doc comment), and the hot solve paths pay nothing for the
+// check. Build with `-tags e2edebug` to turn concurrent entry into an
+// immediate panic instead of silent scratch corruption.
+
+func (a *Allocator) enterGuard() {}
+
+func (a *Allocator) exitGuard() {}

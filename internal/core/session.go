@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"sync/atomic"
 
 	"e2efair/internal/lp"
 )
@@ -89,18 +90,38 @@ func (s *session) maximizeTotal(rows [][]float64, basic []float64) ([]float64, f
 // package-level CentralizedAllocate / DistributedAllocate helpers
 // construct a fresh one per call.
 //
-// Methods on one Allocator must not be called concurrently with each
-// other; internally Centralized and Distributed fan out across the
-// worker sessions.
+// # Concurrency
+//
+// An Allocator is single-caller-at-a-time BY DESIGN: its sessions,
+// tableau scratch, pending list and share cache are reused across
+// calls without synchronization, so methods on one Allocator must
+// never run concurrently with each other. (Internally Centralized and
+// Distributed fan work out across the worker sessions; that fan-out is
+// the Allocator's own and does not change the external contract.)
+//
+// The supported concurrent idiom is one-allocator-per-shard: give
+// every independent worker — a serve.Engine shard, a netsim sweep
+// worker, a goroutine in a test — its own Allocator and share nothing.
+// Allocators are cheap (a few KB of scratch that grows to the largest
+// solve seen), results are bit-identical across instances by
+// construction, and the pattern is pinned race-clean by
+// TestAllocatorPerShardRace. Builds tagged `e2edebug` additionally arm
+// a reentrancy guard that panics when two goroutines enter one
+// Allocator at the same time.
 type Allocator struct {
 	workers  int
 	sessions []*session
 
-	// groupCache maps a group LP's exact serialized bits (plus the
-	// refine flag) to the solved share vector, in group index order.
-	// Cached vectors are stored once and never mutated; readers copy.
-	groupCache map[groupCacheKey][]float64
-	pending    []int // scratch: group indices missing from the cache
+	// cache is the size-capped LRU mapping a group LP's exact
+	// serialized bits (plus the refine flag) to the solved share
+	// vector, in group index order. Cached vectors are stored once and
+	// never mutated; readers copy.
+	cache   *groupLRU
+	pending []int // scratch: group indices missing from the cache
+
+	// busy arms the e2edebug reentrancy guard; unused (but kept, so
+	// the struct layout is tag-independent) in release builds.
+	busy atomic.Int32
 }
 
 // groupCacheKey identifies one solved group LP: the exact bits of its
@@ -112,16 +133,39 @@ type groupCacheKey struct {
 	refine bool
 }
 
-// maxCachedGroups bounds the group solution cache; dynamic simulations
-// revisit a small set of group structures, so the bound exists only to
-// keep adversarial churn from growing memory without limit.
-const maxCachedGroups = 1024
-
-// ResetCache drops all cached group solutions. Benchmarks use it to
-// measure cold solves; allocations never need it for correctness
-// because cache keys capture the entire LP.
+// ResetCache drops all cached group solutions (cumulative CacheStats
+// counters are kept). Benchmarks use it to measure cold solves;
+// allocations never need it for correctness because cache keys capture
+// the entire LP.
 func (a *Allocator) ResetCache() {
-	clear(a.groupCache)
+	a.enterGuard()
+	defer a.exitGuard()
+	a.cache.reset()
+}
+
+// SetGroupCacheCap rebounds the group-share cache to at most n
+// entries, evicting least-recently-used entries immediately if the
+// cache is already larger; n < 1 restores DefaultGroupCacheCap.
+// Eviction never changes results — an evicted group is simply solved
+// again, bit-identically — so the cap trades memory for re-solve work
+// only. Like every other Allocator method it must not race with
+// concurrent calls.
+func (a *Allocator) SetGroupCacheCap(n int) {
+	a.enterGuard()
+	defer a.exitGuard()
+	a.cache.setCap(n)
+}
+
+// CacheStats reports the group-share cache's cumulative hit/miss/evict
+// counters and current population.
+func (a *Allocator) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:      a.cache.hits,
+		Misses:    a.cache.misses,
+		Evictions: a.cache.evictions,
+		Entries:   len(a.cache.entries),
+		Cap:       a.cache.cap,
+	}
 }
 
 // NewAllocator returns an Allocator sized to the machine: Distributed
@@ -138,9 +182,9 @@ func NewAllocatorWorkers(workers int) *Allocator {
 		workers = 1
 	}
 	a := &Allocator{
-		workers:    workers,
-		sessions:   make([]*session, workers),
-		groupCache: make(map[groupCacheKey][]float64),
+		workers:  workers,
+		sessions: make([]*session, workers),
+		cache:    newGroupLRU(DefaultGroupCacheCap),
 	}
 	for i := range a.sessions {
 		a.sessions[i] = newSession()

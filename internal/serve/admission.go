@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic rate limiter used by fairallocd to bound
+// churn at the HTTP edge before events ever reach the batch queue. It
+// is deliberately separate from the deterministic per-op admission
+// inside the shard worker (MaxFlows / MinShare): the bucket shapes
+// request *rate*, the worker checks protect allocation *feasibility*,
+// and only the latter participates in batch/sequential equivalence.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens replenished per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket returns a bucket replenishing `rate` tokens per
+// second up to `burst`, starting full. rate <= 0 disables limiting
+// (Allow always succeeds).
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	tb := &TokenBucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	tb.last = tb.now()
+	return tb
+}
+
+// Allow consumes `cost` tokens if available and reports whether the
+// caller may proceed.
+func (tb *TokenBucket) Allow(cost float64) bool {
+	if tb == nil || tb.rate <= 0 {
+		return true
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	t := tb.now()
+	tb.tokens += t.Sub(tb.last).Seconds() * tb.rate
+	tb.last = t
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	if tb.tokens < cost {
+		return false
+	}
+	tb.tokens -= cost
+	return true
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"e2efair/internal/flow"
+)
+
+// TestManyReadersOneWriterRace pins the lock-free read path race-clean
+// under -race: one writer churns flows through awaited batches while
+// many readers hammer GetShare, Stats, Snapshot and Shares. Readers
+// additionally check snapshot sanity — a share they observe is always
+// positive and at most 1, and epochs never run backwards on a shard.
+func TestManyReadersOneWriterRace(t *testing.T) {
+	topo, ids := clusteredTopo(t, 2, 4)
+	e, err := New(Config{Topo: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Seed one long-lived flow per cluster so readers always have a
+	// stable ID to query.
+	stable := make([]flow.ID, len(ids))
+	for c, chain := range ids {
+		stable[c] = flow.ID(fmt.Sprintf("stable%d", c))
+		if err := e.Register(FlowSpec{ID: stable[c], Weight: 1, Path: chain}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	readerErr := make([]error, 8)
+	for r := range readerErr {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastEpoch uint64
+			for !stop.Load() {
+				id := stable[r%len(stable)]
+				share, epoch, ok := e.GetShare(id)
+				if !ok || share <= 0 || share > 1 {
+					readerErr[r] = fmt.Errorf("flow %s: share=%v ok=%v", id, share, ok)
+					return
+				}
+				if epoch < lastEpoch {
+					readerErr[r] = fmt.Errorf("epoch ran backwards: %d -> %d", lastEpoch, epoch)
+					return
+				}
+				lastEpoch = epoch
+				if st := e.Stats(); st.Shards != uint64(e.NumShards()) {
+					readerErr[r] = fmt.Errorf("stats shards %d != %d", st.Shards, e.NumShards())
+					return
+				}
+				if all, _ := e.Shares(); len(all) == 0 {
+					readerErr[r] = fmt.Errorf("no shares visible")
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Writer: churn a rotating flow per cluster for a few hundred
+	// rounds, each register/remove awaited (so each is a commit).
+	for round := 0; round < 150; round++ {
+		c := round % len(ids)
+		id := flow.ID(fmt.Sprintf("churn%d", c))
+		if err := e.Register(FlowSpec{ID: id, Weight: 2, Path: ids[c][:2]}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	for r, err := range readerErr {
+		if err != nil {
+			t.Fatalf("reader %d: %v", r, err)
+		}
+	}
+}
+
+// TestSnapshotReadsZeroAlloc pins the acceptance criterion that the
+// hot read path allocates nothing: GetShare and Stats are measured at
+// 0 allocs/op against a live engine. This is why the flow directory is
+// a typed copy-on-write map behind an atomic.Pointer rather than a
+// sync.Map (whose any-keyed Load would box every string key).
+func TestSnapshotReadsZeroAlloc(t *testing.T) {
+	topo, ids := clusteredTopo(t, 2, 4)
+	e, err := New(Config{Topo: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	id := flow.ID("f0")
+	if err := e.Register(FlowSpec{ID: id, Weight: 1, Path: ids[0]}); err != nil {
+		t.Fatal(err)
+	}
+
+	var sink float64
+	if n := testing.AllocsPerRun(1000, func() {
+		share, _, ok := e.GetShare(id)
+		if !ok {
+			t.Fatal("flow vanished")
+		}
+		sink += share
+	}); n != 0 {
+		t.Fatalf("GetShare allocates %v times per op, want 0", n)
+	}
+	var events uint64
+	if n := testing.AllocsPerRun(1000, func() {
+		events += e.Stats().Events
+	}); n != 0 {
+		t.Fatalf("Stats allocates %v times per op, want 0", n)
+	}
+	_ = sink
+	_ = events
+}

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+	"e2efair/internal/topology"
+)
+
+// clusteredTopo builds `clusters` radio-separated chains of `nodes`
+// nodes each (200 m spacing inside a chain, 3 km between chains), so
+// the engine gets one shard per chain.
+func clusteredTopo(t testing.TB, clusters, nodes int) (*topology.Topology, [][]topology.NodeID) {
+	t.Helper()
+	b := topology.NewBuilder(topology.DefaultRange, 0)
+	for c := 0; c < clusters; c++ {
+		x0 := float64(c) * 3000
+		for i := 0; i < nodes; i++ {
+			b.Add(fmt.Sprintf("c%dn%d", c, i), x0+float64(i)*200, 0)
+		}
+	}
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([][]topology.NodeID, clusters)
+	for c := 0; c < clusters; c++ {
+		for i := 0; i < nodes; i++ {
+			id, err := topo.Lookup(fmt.Sprintf("c%dn%d", c, i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[c] = append(ids[c], id)
+		}
+	}
+	return topo, ids
+}
+
+// randSpec draws a flow over a random sub-chain of a random cluster.
+// Chain sub-paths are always valid (hops are links, no shortcuts).
+func randSpec(rng *rand.Rand, id flow.ID, ids [][]topology.NodeID) FlowSpec {
+	chain := ids[rng.Intn(len(ids))]
+	start := rng.Intn(len(chain) - 1)
+	end := start + 1 + rng.Intn(len(chain)-start-1)
+	return FlowSpec{
+		ID:     id,
+		Weight: float64(1 + rng.Intn(4)),
+		Path:   chain[start : end+1],
+	}
+}
+
+type churnOp struct {
+	register bool
+	spec     FlowSpec // register
+	id       flow.ID  // remove
+}
+
+// randChurn generates a register/remove script. Registers use fresh
+// IDs except for occasional exact-duplicate retries (same spec, so the
+// duplicate lands on the same shard in both application modes);
+// removes may target dead IDs to exercise ErrUnknownFlow.
+func randChurn(rng *rand.Rand, ids [][]topology.NodeID, n int) []churnOp {
+	var ops []churnOp
+	var seen []FlowSpec // every spec ever registered
+	live := map[flow.ID]bool{}
+	next := 0
+	for len(ops) < n {
+		switch {
+		case len(live) > 0 && rng.Float64() < 0.35:
+			s := seen[rng.Intn(len(seen))] // may already be dead
+			ops = append(ops, churnOp{id: s.ID})
+			delete(live, s.ID)
+		case len(seen) > 0 && rng.Float64() < 0.15:
+			s := seen[rng.Intn(len(seen))] // duplicate or revival
+			ops = append(ops, churnOp{register: true, spec: s})
+			live[s.ID] = true
+		default:
+			s := randSpec(rng, flow.ID(fmt.Sprintf("f%d", next)), ids)
+			next++
+			seen = append(seen, s)
+			ops = append(ops, churnOp{register: true, spec: s})
+			live[s.ID] = true
+		}
+	}
+	return ops
+}
+
+func opErrClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrDuplicateFlow):
+		return "duplicate"
+	case errors.Is(err, ErrUnknownFlow):
+		return "unknown"
+	case errors.Is(err, ErrAdmission):
+		return "admission"
+	default:
+		return err.Error()
+	}
+}
+
+// TestBatchSequentialEquivalence is the tentpole property test: over
+// 100 seeded churn scripts, applying events in arbitrary batch waves
+// yields byte-identical final shares — and identical per-event
+// accept/reject outcomes — to applying them one at a time, and both
+// match a from-scratch Allocator.Centralized solve of the surviving
+// flow set. Allocation is a pure function of the ordered live flow
+// set, so batching can only change *when* solves happen, never what
+// they return.
+func TestBatchSequentialEquivalence(t *testing.T) {
+	for seed := 0; seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		clusters := 2 + rng.Intn(2)
+		topo, ids := clusteredTopo(t, clusters, 4+rng.Intn(2))
+		ops := randChurn(rng, ids, 10+rng.Intn(8))
+
+		seqEng, err := New(Config{Topo: topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchEng, err := New(Config{Topo: topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Sequential: every event awaited, so each is its own batch.
+		seqErrs := make([]string, len(ops))
+		for i, o := range ops {
+			if o.register {
+				seqErrs[i] = opErrClass(seqEng.Register(o.spec))
+			} else {
+				seqErrs[i] = opErrClass(seqEng.Remove(o.id))
+			}
+		}
+
+		// Batched: events enqueued in waves of random width and awaited
+		// only at wave boundaries, so the worker coalesces each wave
+		// into (at most) one rebuild.
+		batchErrs := make([]string, len(ops))
+		for i := 0; i < len(ops); {
+			w := i + 1 + rng.Intn(6)
+			if w > len(ops) {
+				w = len(ops)
+			}
+			dones := make([]<-chan error, 0, w-i)
+			for _, o := range ops[i:w] {
+				if o.register {
+					dones = append(dones, batchEng.RegisterAsync(o.spec))
+				} else {
+					dones = append(dones, batchEng.RemoveAsync(o.id))
+				}
+			}
+			for j, done := range dones {
+				batchErrs[i+j] = opErrClass(<-done)
+			}
+			i = w
+		}
+
+		for i := range ops {
+			if seqErrs[i] != batchErrs[i] {
+				t.Fatalf("seed %d op %d (%+v): sequential %q vs batched %q",
+					seed, i, ops[i], seqErrs[i], batchErrs[i])
+			}
+		}
+
+		seqShares, _ := seqEng.Shares()
+		batchShares, _ := batchEng.Shares()
+		if len(seqShares) != len(batchShares) {
+			t.Fatalf("seed %d: %d vs %d surviving flows", seed, len(seqShares), len(batchShares))
+		}
+		for id, want := range seqShares {
+			got, ok := batchShares[id]
+			if !ok || math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("seed %d flow %s: sequential %v vs batched %v", seed, id, want, got)
+			}
+		}
+
+		// Cross-check against a monolithic from-scratch solve. Replay
+		// the script to recover the survivors in registration order —
+		// the order the engine's shards hold them — since group-LP
+		// float summation is order-sensitive and bit-equality demands
+		// the same within-group flow order.
+		var liveOrder []FlowSpec
+		for _, o := range ops {
+			i := -1
+			for j, s := range liveOrder {
+				if (o.register && s.ID == o.spec.ID) || (!o.register && s.ID == o.id) {
+					i = j
+					break
+				}
+			}
+			if o.register && i < 0 {
+				liveOrder = append(liveOrder, o.spec)
+			} else if !o.register && i >= 0 {
+				liveOrder = append(liveOrder[:i], liveOrder[i+1:]...)
+			}
+		}
+		if len(liveOrder) != len(seqShares) {
+			t.Fatalf("seed %d: replay found %d survivors, engine has %d", seed, len(liveOrder), len(seqShares))
+		}
+		if len(seqShares) > 0 {
+			var flows []*flow.Flow
+			for _, s := range liveOrder {
+				f, err := flow.New(s.ID, s.Weight, s.Path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				flows = append(flows, f)
+			}
+			set, err := flow.NewSet(flows...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := core.NewInstance(topo, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.NewAllocatorWorkers(1).Centralized(inst, core.CentralizedOptions{Refine: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id, x := range want {
+				if math.Float64bits(seqShares[id]) != math.Float64bits(x) {
+					t.Fatalf("seed %d flow %s: engine %v vs fresh Centralized %v",
+						seed, id, seqShares[id], x)
+				}
+			}
+		}
+
+		seqEng.Close()
+		batchEng.Close()
+	}
+}

@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"e2efair/internal/core"
+	"e2efair/internal/flow"
+	"e2efair/internal/topology"
+)
+
+// Snapshot is one shard's immutable published state: the shares of
+// every live flow in the shard's radio component as of Epoch, plus the
+// shard's cumulative counters. Snapshots are swapped whole behind an
+// atomic.Pointer on each batch commit and never mutated afterwards —
+// readers may hold one indefinitely and must not write to Shares.
+type Snapshot struct {
+	// Epoch counts membership-changing commits of this shard; it
+	// advances exactly when Shares changed.
+	Epoch uint64
+	// Shares maps each live flow to its allocated share of B.
+	Shares core.FlowAllocation
+	// Stats is the shard's counter state as of this commit.
+	Stats ShardStats
+}
+
+// ShardStats is one shard's cumulative serving counters, published
+// inside each Snapshot so reads are lock-free.
+type ShardStats struct {
+	Epoch          uint64 `json:"epoch"`
+	Batches        uint64 `json:"batches"`  // batch cycles applied (incl. flush-only)
+	Events         uint64 `json:"events"`   // accepted register/remove events
+	Registers      uint64 `json:"registers"`
+	Removes        uint64 `json:"removes"`
+	Rejected       uint64 `json:"rejected"` // duplicate + admission rejections
+	Rebuilds       uint64 `json:"rebuilds"` // Instance rebuild + solve cycles
+	GroupsSolved   uint64 `json:"groupsSolved"`
+	GroupsReused   uint64 `json:"groupsReused"`
+	CacheEvictions uint64 `json:"cacheEvictions"`
+	Flows          uint64 `json:"flows"` // live flows at last commit
+}
+
+// Stats is the engine-wide sum of per-shard counters plus the shard
+// count; see Engine.Stats.
+type Stats struct {
+	Shards         uint64 `json:"shards"`
+	Epoch          uint64 `json:"epoch"`
+	Batches        uint64 `json:"batches"`
+	Events         uint64 `json:"events"`
+	Registers      uint64 `json:"registers"`
+	Removes        uint64 `json:"removes"`
+	Rejected       uint64 `json:"rejected"`
+	Rebuilds       uint64 `json:"rebuilds"`
+	GroupsSolved   uint64 `json:"groupsSolved"`
+	GroupsReused   uint64 `json:"groupsReused"`
+	CacheEvictions uint64 `json:"cacheEvictions"`
+	Flows          uint64 `json:"flows"`
+}
+
+type opKind uint8
+
+const (
+	opRegister opKind = iota
+	opRemove
+	opFlush
+)
+
+// op is one queued registry event. done (cap 1) receives the outcome
+// after the event's batch commits; err carries it between apply and
+// reply within the worker.
+type op struct {
+	kind opKind
+	id   flow.ID
+	f    *flow.Flow // register only
+	done chan error
+	err  error
+}
+
+// shard owns one radio component's flows end to end: a batch queue fed
+// by Register/Remove, a worker goroutine that applies batches and
+// re-solves through its private core.Allocator (one-allocator-per-
+// shard), and the published snapshot. Fields below the mutex are the
+// queue; fields below "worker-owned" are touched only by the worker.
+type shard struct {
+	eng      *Engine
+	id       int
+	topo     *topology.Topology
+	opts     core.CentralizedOptions
+	window   time.Duration
+	maxBatch int
+	maxFlows int
+	minShare float64
+
+	mu       sync.Mutex
+	pending  []op
+	stopping bool
+	wake     chan struct{}
+
+	snap atomic.Pointer[Snapshot]
+
+	// Worker-owned state.
+	alloc    *core.Allocator
+	flows    []*flow.Flow // live flows, registration order
+	index    map[flow.ID]int
+	wvLoad   float64 // Σ w_i·v_i over live flows (admission)
+	stats    ShardStats
+	spare    []op           // double-buffer for the pending queue
+	rollback []*flow.Flow   // pre-batch flow list for solve-error rollback
+}
+
+// emptyShares is the shared immutable share map of an empty shard.
+var emptyShares = make(core.FlowAllocation)
+
+func newShard(e *Engine, id int, cfg Config) *shard {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	alloc := core.NewAllocatorWorkers(workers)
+	if cfg.CacheCap > 0 {
+		alloc.SetGroupCacheCap(cfg.CacheCap)
+	}
+	s := &shard{
+		eng:      e,
+		id:       id,
+		topo:     cfg.Topo,
+		opts:     core.CentralizedOptions{Refine: !cfg.NoRefine},
+		window:   cfg.Window,
+		maxBatch: cfg.MaxBatch,
+		maxFlows: cfg.MaxFlows,
+		minShare: cfg.MinShare,
+		wake:     make(chan struct{}, 1),
+		alloc:    alloc,
+		index:    make(map[flow.ID]int),
+	}
+	s.snap.Store(&Snapshot{Shares: emptyShares})
+	return s
+}
+
+// enqueue appends an event to the batch queue and wakes the worker;
+// it reports false (without enqueueing) once the shard is stopping.
+func (s *shard) enqueue(o op) bool {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return false
+	}
+	s.pending = append(s.pending, o)
+	s.mu.Unlock()
+	s.wakeUp()
+	return true
+}
+
+func (s *shard) wakeUp() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the shard worker: wait for churn, optionally hold the batch
+// window open so concurrent events coalesce, then swap the queue out
+// and apply it as (at most MaxBatch-sized) batches. On stop it drains
+// everything already queued before exiting, so Close is a clean drain.
+func (s *shard) loop() {
+	defer s.eng.wg.Done()
+	for {
+		<-s.wake
+		if s.window > 0 {
+			s.mu.Lock()
+			stopping := s.stopping
+			s.mu.Unlock()
+			if !stopping {
+				time.Sleep(s.window)
+			}
+		}
+		for {
+			s.mu.Lock()
+			if len(s.pending) == 0 {
+				stop := s.stopping
+				s.mu.Unlock()
+				if stop {
+					return
+				}
+				break
+			}
+			batch := s.pending
+			s.pending = s.spare[:0]
+			s.mu.Unlock()
+			s.applyBatch(batch)
+			clear(batch) // drop op references (flows, done chans)
+			s.spare = batch[:0]
+		}
+	}
+}
+
+// applyBatch chunks a drained queue by MaxBatch and applies each chunk
+// as one rebuild + solve + publish cycle.
+func (s *shard) applyBatch(batch []op) {
+	for start := 0; start < len(batch); {
+		end := len(batch)
+		if s.maxBatch > 0 && end-start > s.maxBatch {
+			end = start + s.maxBatch
+		}
+		s.applyChunk(batch[start:end])
+		start = end
+	}
+}
+
+// applyChunk applies one batch: every event mutates the live flow set
+// in queue order (with per-event admission), then a single Instance
+// rebuild + CentralizedDelta prices the whole batch and the result is
+// published as one new snapshot. Event order equals enqueue order
+// equals the order a sequential caller would have applied, and every
+// solve is a pure function of the final flow set, so batch-final
+// shares are byte-identical to one-at-a-time application.
+func (s *shard) applyChunk(ops []op) {
+	s.stats.Batches++
+	s.rollback = append(s.rollback[:0], s.flows...)
+	rollbackLoad := s.wvLoad
+	changed := false
+	for i := range ops {
+		o := &ops[i]
+		o.err = s.applyOne(o)
+		if o.err == nil && o.kind != opFlush {
+			changed = true
+			s.stats.Events++
+		}
+	}
+	if changed {
+		if err := s.rebuildAndPublish(); err != nil {
+			// Roll the flow set back and fail every event that had
+			// been accepted into this batch; the published snapshot
+			// still describes the last good state.
+			s.flows = append(s.flows[:0], s.rollback...)
+			s.wvLoad = rollbackLoad
+			clear(s.index)
+			for i, f := range s.flows {
+				s.index[f.ID()] = i
+			}
+			for i := range ops {
+				o := &ops[i]
+				if o.err == nil && o.kind != opFlush {
+					o.err = err
+				}
+			}
+			changed = false
+		}
+	}
+	if !changed {
+		// Flush-only (or rolled-back) batch: republish the same shares
+		// and epoch with refreshed counters.
+		old := s.snap.Load()
+		s.stats.Flows = uint64(len(s.flows))
+		s.snap.Store(&Snapshot{Epoch: old.Epoch, Shares: old.Shares, Stats: s.stats})
+	}
+	// Commit routing for every non-flush op — even rejected ones, whose
+	// enqueue-time routes must be retired. Pure-flush batches change no
+	// membership and skip the directory copy.
+	for i := range ops {
+		if ops[i].kind != opFlush {
+			s.eng.commitDirectory(s, ops)
+			break
+		}
+	}
+	for i := range ops {
+		if ops[i].done != nil {
+			ops[i].done <- ops[i].err
+		}
+	}
+}
+
+// applyOne applies one event to the live flow set, enforcing admission
+// deterministically in event order. It is a pure function of (live
+// set, op), which is what makes batched and sequential application
+// agree on every accept/reject decision.
+func (s *shard) applyOne(o *op) error {
+	switch o.kind {
+	case opFlush:
+		return nil
+	case opRegister:
+		id := o.f.ID()
+		if _, ok := s.index[id]; ok {
+			s.stats.Rejected++
+			return fmt.Errorf("%w: %s", ErrDuplicateFlow, id)
+		}
+		wv := o.f.Weight() * float64(o.f.VirtualLength())
+		if s.maxFlows > 0 && len(s.flows) >= s.maxFlows {
+			s.stats.Rejected++
+			return fmt.Errorf("%w: shard %d at flow cap %d", ErrAdmission, s.id, s.maxFlows)
+		}
+		if s.minShare > 0 && (s.wvLoad+wv)*s.minShare > 1 {
+			s.stats.Rejected++
+			return fmt.Errorf("%w: flow %s would push the basic share below %g (shard load Σw·v=%.3f)",
+				ErrAdmission, id, s.minShare, s.wvLoad+wv)
+		}
+		s.index[id] = len(s.flows)
+		s.flows = append(s.flows, o.f)
+		s.wvLoad += wv
+		s.stats.Registers++
+		return nil
+	case opRemove:
+		i, ok := s.index[o.id]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownFlow, o.id)
+		}
+		f := s.flows[i]
+		s.wvLoad -= f.Weight() * float64(f.VirtualLength())
+		copy(s.flows[i:], s.flows[i+1:])
+		s.flows = s.flows[:len(s.flows)-1]
+		delete(s.index, o.id)
+		for j := i; j < len(s.flows); j++ {
+			s.index[s.flows[j].ID()] = j
+		}
+		s.stats.Removes++
+		return nil
+	}
+	return fmt.Errorf("serve: unknown op kind %d", o.kind)
+}
+
+// rebuildAndPublish prices the current flow set — one flow.Set +
+// core.Instance build, one CentralizedDelta that re-solves only the
+// contending groups the batch actually changed — and swaps in the new
+// snapshot. A batch that empties the shard publishes the shared empty
+// share map without solving anything.
+func (s *shard) rebuildAndPublish() error {
+	shares := emptyShares
+	if len(s.flows) > 0 {
+		set, err := flow.NewSet(s.flows...)
+		if err != nil {
+			return err
+		}
+		inst, err := core.NewInstance(s.topo, set)
+		if err != nil {
+			return err
+		}
+		alloc, d, err := s.alloc.CentralizedDelta(inst, s.opts)
+		if err != nil {
+			return err
+		}
+		s.stats.GroupsSolved += uint64(d.Solved)
+		s.stats.GroupsReused += uint64(d.Reused)
+		s.stats.CacheEvictions += uint64(d.Evicted)
+		shares = alloc
+	}
+	s.stats.Rebuilds++
+	s.stats.Epoch++
+	s.stats.Flows = uint64(len(s.flows))
+	s.snap.Store(&Snapshot{Epoch: s.stats.Epoch, Shares: shares, Stats: s.stats})
+	return nil
+}
