@@ -55,8 +55,9 @@ bench-sim: build
 # Serving-core perf trajectory: churn events/s for the per-event
 # CentralizedDelta baseline vs the batch-coalescing engine at batch
 # size 64 (speedup must stay ≥5x), the lock-free snapshot read path
-# (ns/op; must stay 0 allocs/op), and awaited register latency
-# percentiles, written to BENCH_serve.json.
+# (ns/op; must stay 0 allocs/op), awaited register latency
+# percentiles, and crash-recovery boot time (WAL replay events/s at
+# 10k and 100k logged events), written to BENCH_serve.json.
 bench-serve: build
 	$(GO) run ./cmd/benchtables -only serve -json BENCH_serve.json
 

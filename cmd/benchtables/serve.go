@@ -3,13 +3,16 @@ package main
 import (
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"testing"
 	"time"
 
 	"e2efair/internal/core"
+	"e2efair/internal/durable"
 	"e2efair/internal/flow"
 	"e2efair/internal/serve"
+	"e2efair/internal/topology"
 )
 
 // serveSection measures the batched serving core on the clustered
@@ -187,5 +190,117 @@ func serveSection(_ float64, seed int64, sec *Section) error {
 	p99 := float64(lat[(len(lat)*99+99)/100-1]) / float64(time.Microsecond)
 	sec.add("registerLatency", map[string]float64{"p50Us": p50, "p99Us": p99})
 	fmt.Printf("awaited register latency:        p50 %.0fµs  p99 %.0fµs\n", p50, p99)
+
+	// Crash recovery: boot time vs WAL length. A synthetic WAL of N
+	// churn events (no covering snapshot, so every batch replays) is
+	// handed to serve.New, timing snapshot load + tail replay + the
+	// single recovery re-price.
+	for _, n := range []int{10_000, 100_000} {
+		events, secs, err := benchRecovery(n)
+		if err != nil {
+			return err
+		}
+		rate := float64(events) / secs
+		sec.add(fmt.Sprintf("recoveryReplay%dk", n/1000), map[string]float64{
+			"events":       float64(events),
+			"seconds":      secs,
+			"eventsPerSec": rate,
+		})
+		fmt.Printf("recovery replay (%6d events): %10.0f events/s  (%.3fs boot)\n", events, rate, secs)
+	}
 	return nil
+}
+
+// benchRecovery writes a WAL of ~target churn events through the
+// durable layer directly (batches of 64, no snapshot — the worst case,
+// everything replays), then times a cold serve.New over it.
+func benchRecovery(target int) (events int, seconds float64, err error) {
+	b := topology.NewBuilder(topology.DefaultRange, 0)
+	const nodes = 6
+	for i := 0; i < nodes; i++ {
+		b.Add(fmt.Sprintf("n%d", i), float64(i)*200, 0)
+	}
+	topo, err := b.Build()
+	if err != nil {
+		return 0, 0, err
+	}
+	path := make([]topology.NodeID, nodes)
+	for i := 0; i < nodes; i++ {
+		if path[i], err = topo.Lookup(fmt.Sprintf("n%d", i)); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "e2efair-recovery-")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	opts := durable.Options{Policy: durable.FsyncNever}
+	store, err := durable.Open(dir, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	logs, err := store.Attach(1, topo.AdjacencyFingerprint())
+	if err != nil {
+		return 0, 0, err
+	}
+	sl := logs[0]
+	sl.Recovered() // fresh dir: nothing to consume
+
+	// Batch 1 registers a persistent flow set so the recovery re-price
+	// solves a real instance; every later batch is a register+remove
+	// pair stream, the WAL shape a churn-heavy daemon writes.
+	var rec durable.BatchRecord
+	const persistent = 4
+	rec.Epoch = 1
+	for i := 0; i < persistent; i++ {
+		rec.Events = append(rec.Events, durable.Event{
+			Kind: durable.EventRegister, ID: flow.ID(fmt.Sprintf("perm%d", i)),
+			Weight: 1, Path: path[i%2:],
+		})
+	}
+	if err := sl.AppendBatch(&rec); err != nil {
+		return 0, 0, err
+	}
+	events = persistent
+	next := 0
+	for events < target {
+		rec.Epoch++
+		rec.Events = rec.Events[:0]
+		for b := 0; b < 64 && events < target; b += 2 {
+			id := flow.ID(fmt.Sprintf("churn%d", next))
+			next++
+			rec.Events = append(rec.Events,
+				durable.Event{Kind: durable.EventRegister, ID: id, Weight: 1, Path: path},
+				durable.Event{Kind: durable.EventRemove, ID: id})
+			events += 2
+		}
+		if err := sl.AppendBatch(&rec); err != nil {
+			return 0, 0, err
+		}
+	}
+	batches := int(rec.Epoch)
+	if err := sl.Close(); err != nil {
+		return 0, 0, err
+	}
+	store.Detach()
+
+	// Cold boot over the WAL.
+	store2, err := durable.Open(dir, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	t0 := time.Now()
+	eng, err := serve.New(serve.Config{Topo: topo, Workers: 1, Durable: store2})
+	if err != nil {
+		return 0, 0, err
+	}
+	seconds = time.Since(t0).Seconds()
+	defer eng.Close()
+	if rec := eng.Recovery(); rec.Batches != batches || rec.Flows != persistent {
+		return 0, 0, fmt.Errorf("recovery replayed %d batches / %d flows, want %d / %d",
+			rec.Batches, rec.Flows, batches, persistent)
+	}
+	return events, seconds, nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"e2efair"
+	"e2efair/internal/xrand"
 )
 
 // loadResult is the load generator's report: one register+remove pair
@@ -20,6 +21,7 @@ type loadResult struct {
 	Units        int     `json:"units"`
 	Events       int     `json:"events"` // registers + removes that succeeded
 	Rejected     int     `json:"rejected"`
+	Retries      int     `json:"retries"` // 429/503 responses retried after backoff
 	Errors       int     `json:"errors"`
 	Seconds      float64 `json:"seconds"`
 	EventsPerSec float64 `json:"eventsPerSec"`
@@ -27,12 +29,54 @@ type loadResult struct {
 	P99Ms        float64 `json:"p99Ms"`
 }
 
+// Retry backoff bounds: attempt n sleeps backoffBase<<n, capped at
+// backoffMax, with the lower half of the window jittered per worker.
+const (
+	backoffBase = 5 * time.Millisecond
+	backoffMax  = 250 * time.Millisecond
+)
+
+// loadSleep is time.Sleep, swappable so the retry tests run instantly.
+var loadSleep = time.Sleep
+
+// retryable reports whether a status is worth retrying: the daemon's
+// two transient answers — rate-limited churn (429) and a recovering or
+// draining engine (503).
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// doRetry issues build()'s request up to 1+retries times, sleeping a
+// capped-exponential, xrand-jittered backoff between attempts that hit
+// a retryable status. The jitter stream is per-worker and
+// deterministic in (seed, worker), the same NodeStream discipline the
+// packet layer uses, so a seeded load run draws the same backoff
+// schedule every time. Returns the final response (body unread) and
+// how many retries were spent.
+func doRetry(client *http.Client, rng *xrand.Rand, retries int, build func() *http.Request) (*http.Response, int, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Do(build())
+		if err != nil || !retryable(resp.StatusCode) || attempt >= retries {
+			return resp, attempt, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		window := backoffBase << attempt
+		if window > backoffMax {
+			window = backoffMax
+		}
+		loadSleep(window/2 + time.Duration(rng.Intn(int(window/2))))
+	}
+}
+
 // runLoadGen drives a running fairallocd with register/remove churn
 // derived from the loaded network's flows: each unit registers a
 // uniquely-named clone of one template flow and then removes it.
 // Concurrency is the number of HTTP workers; within a worker events
-// are sequential, so per-flow ordering is preserved.
-func runLoadGen(net *e2efair.Network, baseURL string, units, concurrency int, out io.Writer, asJSON bool) error {
+// are sequential, so per-flow ordering is preserved. Transient daemon
+// answers (429 rate limit, 503 recovering/draining) are retried up to
+// `retries` times with jittered exponential backoff.
+func runLoadGen(net *e2efair.Network, baseURL string, units, concurrency, retries int, seed int64, out io.Writer, asJSON bool) error {
 	type template struct {
 		weight float64
 		path   []string
@@ -64,6 +108,7 @@ func runLoadGen(net *e2efair.Network, baseURL string, units, concurrency int, ou
 		latencies []time.Duration
 		events    int
 		rejected  int
+		retried   int
 		errCount  int
 	)
 	work := make(chan int)
@@ -72,8 +117,9 @@ func runLoadGen(net *e2efair.Network, baseURL string, units, concurrency int, ou
 	start := time.Now()
 	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			rng := xrand.NodeStream(seed, uint64(w))
 			for u := range work {
 				tpl := templates[u%len(templates)]
 				id := fmt.Sprintf("load-%d", u)
@@ -81,16 +127,21 @@ func runLoadGen(net *e2efair.Network, baseURL string, units, concurrency int, ou
 					"id": id, "weight": tpl.weight, "path": tpl.path,
 				})
 				t0 := time.Now()
-				resp, err := client.Post(baseURL+"/v1/flows", "application/json", bytes.NewReader(body))
+				resp, tries, err := doRetry(client, &rng, retries, func() *http.Request {
+					req, _ := http.NewRequest(http.MethodPost, baseURL+"/v1/flows", bytes.NewReader(body))
+					req.Header.Set("Content-Type", "application/json")
+					return req
+				})
 				lat := time.Since(t0)
 				mu.Lock()
+				retried += tries
 				switch {
 				case err != nil:
 					errCount++
 				case resp.StatusCode == http.StatusCreated:
 					events++
 					latencies = append(latencies, lat)
-				case resp.StatusCode == http.StatusTooManyRequests:
+				case retryable(resp.StatusCode):
 					rejected++
 				default:
 					errCount++
@@ -104,14 +155,19 @@ func runLoadGen(net *e2efair.Network, baseURL string, units, concurrency int, ou
 				if resp.StatusCode != http.StatusCreated {
 					continue
 				}
-				req, _ := http.NewRequest(http.MethodDelete, baseURL+"/v1/flows/"+id, nil)
-				resp, err = client.Do(req)
+				resp, tries, err = doRetry(client, &rng, retries, func() *http.Request {
+					req, _ := http.NewRequest(http.MethodDelete, baseURL+"/v1/flows/"+id, nil)
+					return req
+				})
 				mu.Lock()
+				retried += tries
 				switch {
 				case err != nil:
 					errCount++
 				case resp.StatusCode == http.StatusNoContent:
 					events++
+				case retryable(resp.StatusCode):
+					rejected++
 				default:
 					errCount++
 				}
@@ -121,7 +177,7 @@ func runLoadGen(net *e2efair.Network, baseURL string, units, concurrency int, ou
 					resp.Body.Close()
 				}
 			}
-		}()
+		}(w)
 	}
 	for u := 0; u < units; u++ {
 		work <- u
@@ -134,6 +190,7 @@ func runLoadGen(net *e2efair.Network, baseURL string, units, concurrency int, ou
 		Units:    units,
 		Events:   events,
 		Rejected: rejected,
+		Retries:  retried,
 		Errors:   errCount,
 		Seconds:  elapsed.Seconds(),
 	}
@@ -154,8 +211,8 @@ func runLoadGen(net *e2efair.Network, baseURL string, units, concurrency int, ou
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
 	}
-	fmt.Fprintf(out, "load: %d units, %d events in %.2fs (%.0f events/s), %d rejected, %d errors\n",
-		res.Units, res.Events, res.Seconds, res.EventsPerSec, res.Rejected, res.Errors)
+	fmt.Fprintf(out, "load: %d units, %d events in %.2fs (%.0f events/s), %d rejected, %d retries, %d errors\n",
+		res.Units, res.Events, res.Seconds, res.EventsPerSec, res.Rejected, res.Retries, res.Errors)
 	fmt.Fprintf(out, "register latency: p50 %.2fms  p99 %.2fms\n", res.P50Ms, res.P99Ms)
 	return nil
 }

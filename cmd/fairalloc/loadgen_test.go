@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestLoadGenAgainstStub drives the load generator at a stub daemon
@@ -81,7 +82,8 @@ func TestLoadGenAgainstStub(t *testing.T) {
 }
 
 // TestLoadGenRejectedCounting pins that 429s are counted as rejected,
-// not errors, and skip the paired remove.
+// not errors, and skip the paired remove. -retries 0 disables backoff
+// so every 429 is final.
 func TestLoadGenRejectedCounting(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusTooManyRequests)
@@ -90,7 +92,7 @@ func TestLoadGenRejectedCounting(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{
 		"-scenario", "figure6", "-daemon", srv.URL,
-		"-events", "5", "-concurrency", "1", "-json",
+		"-events", "5", "-concurrency", "1", "-retries", "0", "-json",
 	}, &out); err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +100,73 @@ func TestLoadGenRejectedCounting(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
 		t.Fatal(err)
 	}
-	if res.Rejected != 5 || res.Events != 0 || res.Errors != 0 {
+	if res.Rejected != 5 || res.Events != 0 || res.Errors != 0 || res.Retries != 0 {
 		t.Fatalf("unexpected accounting: %+v", res)
+	}
+}
+
+// TestLoadGenRetryBackoff pins the retry loop: a daemon answering 503
+// twice before each 201/204 (a recovering fairallocd, or an edge rate
+// limiter breathing) costs retries but no rejects and no errors, and
+// the backoff sleeps follow the capped-exponential schedule.
+func TestLoadGenRetryBackoff(t *testing.T) {
+	var mu sync.Mutex
+	failures := map[string]int{} // method+path → 503s served so far
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		key := r.Method + " " + r.URL.Path
+		if r.Method == http.MethodPost {
+			var req struct {
+				ID string `json:"id"`
+			}
+			json.NewDecoder(r.Body).Decode(&req)
+			key = "POST " + req.ID
+		}
+		if failures[key] < 2 {
+			failures[key]++
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		switch r.Method {
+		case http.MethodPost:
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(map[string]any{"id": "x", "share": 0.5, "epoch": 1})
+		case http.MethodDelete:
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	loadSleep = func(d time.Duration) { slept = append(slept, d) }
+	defer func() { loadSleep = time.Sleep }()
+
+	var out bytes.Buffer
+	if err := run([]string{
+		"-scenario", "figure6", "-daemon", srv.URL,
+		"-events", "3", "-concurrency", "1", "-retries", "4", "-seed", "7", "-json",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var res loadResult
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	// 3 units × (register + remove) = 6 events, each preceded by two
+	// 503s = 12 retries, all absorbed by backoff.
+	if res.Events != 6 || res.Retries != 12 || res.Rejected != 0 || res.Errors != 0 {
+		t.Fatalf("unexpected accounting: %+v", res)
+	}
+	if len(slept) != 12 {
+		t.Fatalf("expected 12 backoff sleeps, saw %d", len(slept))
+	}
+	for i, d := range slept {
+		window := backoffBase << (i % 2) // attempts 0,1 per request
+		if d < window/2 || d >= window {
+			t.Fatalf("sleep %d = %v outside jitter window [%v, %v)", i, d, window/2, window)
+		}
 	}
 }

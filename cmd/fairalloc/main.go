@@ -45,6 +45,8 @@ func run(args []string, out io.Writer) error {
 	daemonURL := fs.String("daemon", "", "load-generator mode: drive a running fairallocd at this base URL with churn from the spec's flows")
 	loadEvents := fs.Int("events", 200, "load generator: register+remove units to issue")
 	loadConc := fs.Int("concurrency", 4, "load generator: concurrent HTTP workers")
+	loadRetries := fs.Int("retries", 3, "load generator: retries per request on 429/503 (0 = fail fast)")
+	loadSeed := fs.Int64("seed", 1, "load generator: seed for the backoff jitter streams")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,7 +55,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *daemonURL != "" {
-		return runLoadGen(net, *daemonURL, *loadEvents, *loadConc, out, *asJSON)
+		return runLoadGen(net, *daemonURL, *loadEvents, *loadConc, *loadRetries, *loadSeed, out, *asJSON)
 	}
 	if *dot {
 		fmt.Fprint(out, analysis.DOT(net.Instance()))

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"e2efair"
+)
+
+// chaosChildEnv re-executes the test binary as a real fairallocd
+// process: when set, TestMain runs the daemon's main loop on the
+// binary's arguments instead of the test suite. This is what lets the
+// chaos test SIGKILL an actual OS process — in-process engines can
+// only simulate a crash, a subprocess actually takes one.
+const chaosChildEnv = "FAIRALLOCD_CHAOS_CHILD"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(chaosChildEnv) == "1" {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+		if err := run(os.Args[1:], os.Stdout, nil, sigs); err != nil {
+			fmt.Fprintln(os.Stderr, "fairallocd:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// chaosProc is one daemon subprocess with its captured stdout.
+type chaosProc struct {
+	cmd *exec.Cmd
+	mu  sync.Mutex
+	log strings.Builder
+}
+
+func (p *chaosProc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.log.String()
+}
+
+// startDaemon launches the re-exec'd daemon and returns once its
+// listen address is known (the port is bound; recovery may still be
+// running — poll healthz for readiness).
+func startDaemon(t *testing.T, args ...string) (*chaosProc, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), chaosChildEnv+"=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProc{cmd: cmd}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.log.WriteString(line + "\n")
+			p.mu.Unlock()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return p, addr
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon never bound a port; output:\n%s", p.output())
+		return nil, ""
+	}
+}
+
+// waitHealthy polls /v1/healthz until the daemon reports ok (i.e.
+// recovery finished and the engine is serving).
+func waitHealthy(t *testing.T, client *http.Client, base string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}
+
+func getShares(t *testing.T, client *http.Client, base string) map[string]float64 {
+	t.Helper()
+	resp, err := client.Get(base + "/v1/shares")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Shares map[string]float64 `json:"shares"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Shares
+}
+
+// TestChaosKillRecover is the crash-chaos harness: a real fairallocd
+// subprocess takes SIGKILL mid-churn and a restart over the same data
+// directory must recover every acked flow with byte-identical shares.
+//
+// Protocol: register a base flow set and snapshot its shares; churn
+// extra flows (never awaited for correctness — their acks race the
+// kill) while SIGKILLing the process; restart on the same -data-dir;
+// delete whatever extras survived the crash (committed or not, both
+// are legal post-crash states for unacked events); the remaining
+// shares must equal the pre-chaos snapshot bit for bit, because the
+// allocation is a pure function of the ordered live flow set and the
+// base flows — all acked before the kill — are exactly that set.
+func TestChaosKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test skipped in -short")
+	}
+	spec, err := e2efair.BuiltinSpec("figure6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	client := &http.Client{Timeout: 5 * time.Second}
+	args := []string{"-scenario", "figure6", "-addr", "127.0.0.1:0",
+		"-data-dir", dir, "-fsync", "never", "-snapshot-every", "4"}
+
+	p1, addr := startDaemon(t, args...)
+	base := "http://" + addr
+	waitHealthy(t, client, base)
+
+	// Base set: every figure-6 flow, acked before chaos starts.
+	for _, fspec := range spec.Flows {
+		body, _ := json.Marshal(flowRequest{ID: fspec.ID, Weight: fspec.Weight, Path: fspec.Path})
+		resp, err := client.Post(base+"/v1/flows", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register %s: status %d", fspec.ID, resp.StatusCode)
+		}
+	}
+	want := getShares(t, client, base)
+	if len(want) != len(spec.Flows) {
+		t.Fatalf("baseline has %d shares, want %d", len(want), len(spec.Flows))
+	}
+
+	// Chaos: hammer register/remove of extra flows until the daemon
+	// dies under us. Errors are expected — that is the point.
+	const extras = 8
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fspec := spec.Flows[i%len(spec.Flows)]
+			id := fmt.Sprintf("extra%d", i%extras)
+			body, _ := json.Marshal(flowRequest{ID: id, Weight: 2, Path: fspec.Path})
+			if resp, err := client.Post(base+"/v1/flows", "application/json", bytes.NewReader(body)); err == nil {
+				resp.Body.Close()
+			}
+			req, _ := http.NewRequest(http.MethodDelete, base+"/v1/flows/"+id, nil)
+			if resp, err := client.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+	time.Sleep(250 * time.Millisecond) // let churn hit the WAL
+	if err := p1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+	close(stop)
+	churn.Wait()
+
+	// Restart over the same data directory; recovery must come up and
+	// say so.
+	p2, addr2 := startDaemon(t, args...)
+	defer func() {
+		p2.cmd.Process.Kill()
+		p2.cmd.Wait()
+	}()
+	base2 := "http://" + addr2
+	waitHealthy(t, client, base2)
+	if out := p2.output(); !strings.Contains(out, "recovered") {
+		t.Fatalf("restart output missing recovery line:\n%s", out)
+	}
+
+	// Clear crash debris: any extra may or may not have survived (its
+	// final ack raced the kill); both 204 and 404 are correct.
+	for i := 0; i < extras; i++ {
+		req, _ := http.NewRequest(http.MethodDelete, base2+"/v1/flows/"+fmt.Sprintf("extra%d", i), nil)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("delete extra%d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	got := getShares(t, client, base2)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d flows, want %d (got %v)", len(got), len(want), got)
+	}
+	for id, x := range want {
+		if math.Float64bits(got[id]) != math.Float64bits(x) {
+			t.Fatalf("flow %s: recovered share %v != pre-crash %v", id, got[id], x)
+		}
+	}
+}

@@ -21,6 +21,13 @@
 // the response is already readable. SIGTERM/SIGINT drain gracefully:
 // in-flight HTTP requests finish, queued churn commits, then the
 // process exits.
+//
+// With -data-dir the daemon is durable: every committed batch is
+// write-ahead logged (fsync policy via -fsync) before clients are
+// acked, and on boot the flow set is recovered from the snapshot + WAL
+// tail. The HTTP listener binds immediately but answers 503 until
+// recovery completes, so load balancers see the port without reading
+// stale state.
 package main
 
 import (
@@ -34,10 +41,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"e2efair"
+	"e2efair/internal/durable"
 	"e2efair/internal/flow"
 	"e2efair/internal/serve"
 	"e2efair/internal/topology"
@@ -69,6 +78,9 @@ func run(args []string, out io.Writer, ready chan<- string, sigs <-chan os.Signa
 	rate := fs.Float64("rate", 0, "edge token bucket: churn requests per second (0 = unlimited)")
 	burst := fs.Float64("burst", 64, "edge token bucket: burst size")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+	dataDir := fs.String("data-dir", "", "durable data directory (WAL + snapshots); empty = volatile")
+	fsync := fs.String("fsync", "batch", "WAL fsync policy: always, batch or never")
+	snapEvery := fs.Int("snapshot-every", 4096, "events between durable snapshots per shard (0 = only on clean shutdown)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,7 +89,35 @@ func run(args []string, out io.Writer, ready chan<- string, sigs <-chan os.Signa
 	if err != nil {
 		return err
 	}
-	eng, err := serve.New(serve.Config{
+	policy, err := durable.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		return err
+	}
+
+	d := &daemon{
+		topo:   topo,
+		bucket: serve.NewTokenBucket(*rate, *burst),
+	}
+
+	// Bind and serve before recovery: until the engine lands in d.eng
+	// every handler answers 503, so a restarting daemon is visible (and
+	// health-checkable) while it replays its log.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           d.mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Fprintf(out, "fairallocd: %d nodes, listening on %s\n", topo.NumNodes(), ln.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	cfg := serve.Config{
 		Topo:     topo,
 		Window:   *window,
 		MaxBatch: *maxBatch,
@@ -85,30 +125,31 @@ func run(args []string, out io.Writer, ready chan<- string, sigs <-chan os.Signa
 		CacheCap: *cacheCap,
 		MaxFlows: *maxFlows,
 		MinShare: *minShare,
-	})
+	}
+	if *dataDir != "" {
+		store, err := durable.Open(*dataDir, durable.Options{Policy: policy, SnapshotEvery: *snapEvery})
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		cfg.Durable = store
+	}
+	eng, err := serve.New(cfg)
 	if err != nil {
+		srv.Close()
 		return err
 	}
-	d := &daemon{
-		topo:   topo,
-		engine: eng,
-		bucket: serve.NewTokenBucket(*rate, *burst),
+	if *dataDir != "" {
+		rec := eng.Recovery()
+		fmt.Fprintf(out, "fairallocd: durable in %s (fsync=%s): recovered %d flows, replayed %d WAL batches\n",
+			*dataDir, policy, rec.Flows, rec.Batches)
 	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		eng.Close()
-		return err
-	}
-	srv := &http.Server{Handler: d.mux()}
-	fmt.Fprintf(out, "fairallocd: %d nodes, %d shards, listening on %s\n",
-		topo.NumNodes(), eng.NumShards(), ln.Addr())
+	d.eng.Store(eng)
+	fmt.Fprintf(out, "fairallocd: %d shards ready\n", eng.NumShards())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
 	select {
 	case err := <-serveErr:
 		eng.Close()
@@ -119,8 +160,8 @@ func run(args []string, out io.Writer, ready chan<- string, sigs <-chan os.Signa
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	shutdownErr := srv.Shutdown(ctx)
-	// In-flight handlers are done; drain the batch queues and stop the
-	// shard workers.
+	// In-flight handlers are done; drain the batch queues, stop the
+	// shard workers, and (when durable) write the final snapshots.
 	eng.Close()
 	st := eng.Stats()
 	fmt.Fprintf(out, "fairallocd: drained (%d events in %d batches, %d rebuilds)\n",
@@ -164,12 +205,24 @@ func loadTopology(specPath, scenarioName string) (*topology.Topology, error) {
 	return b.Build()
 }
 
-// daemon holds the HTTP layer's state: the engine, the name-keyed
-// topology for path resolution, and the edge rate limiter.
+// daemon holds the HTTP layer's state: the engine (atomically set once
+// recovery completes — nil means "still recovering" and handlers
+// answer 503), the name-keyed topology for path resolution, and the
+// edge rate limiter.
 type daemon struct {
 	topo   *topology.Topology
-	engine *serve.Engine
+	eng    atomic.Pointer[serve.Engine]
 	bucket *serve.TokenBucket
+}
+
+// engine returns the serving engine, or writes 503 and returns nil
+// while recovery is still replaying the durable state.
+func (d *daemon) engine(w http.ResponseWriter) *serve.Engine {
+	eng := d.eng.Load()
+	if eng == nil {
+		writeError(w, http.StatusServiceUnavailable, "recovering: durable state is replaying")
+	}
+	return eng
 }
 
 func (d *daemon) mux() *http.ServeMux {
@@ -180,6 +233,10 @@ func (d *daemon) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/shares/{id}", d.handleShare)
 	mux.HandleFunc("GET /v1/stats", d.handleStats)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if d.eng.Load() == nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
@@ -200,6 +257,10 @@ type shareResponse struct {
 }
 
 func (d *daemon) handleRegister(w http.ResponseWriter, r *http.Request) {
+	eng := d.engine(w)
+	if eng == nil {
+		return
+	}
 	if !d.bucket.Allow(1) {
 		writeError(w, http.StatusTooManyRequests, "churn rate limit exceeded")
 		return
@@ -225,29 +286,50 @@ func (d *daemon) handleRegister(w http.ResponseWriter, r *http.Request) {
 		}
 		path[i] = id
 	}
-	err := d.engine.Register(serve.FlowSpec{ID: flow.ID(req.ID), Weight: req.Weight, Path: path})
-	if err != nil {
-		writeEngineError(w, err)
+	// Await the commit or the request context, whichever ends first: a
+	// disconnected client stops holding a handler goroutine hostage.
+	// The enqueued event still commits in the background — abandoning
+	// the wait does not unwind the registration.
+	select {
+	case err := <-eng.RegisterAsync(serve.FlowSpec{ID: flow.ID(req.ID), Weight: req.Weight, Path: path}):
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+	case <-r.Context().Done():
 		return
 	}
-	share, epoch, _ := d.engine.GetShare(flow.ID(req.ID))
+	share, epoch, _ := eng.GetShare(flow.ID(req.ID))
 	writeJSON(w, http.StatusCreated, shareResponse{ID: req.ID, Share: share, Epoch: epoch})
 }
 
 func (d *daemon) handleRemove(w http.ResponseWriter, r *http.Request) {
+	eng := d.engine(w)
+	if eng == nil {
+		return
+	}
 	if !d.bucket.Allow(1) {
 		writeError(w, http.StatusTooManyRequests, "churn rate limit exceeded")
 		return
 	}
-	if err := d.engine.Remove(flow.ID(r.PathValue("id"))); err != nil {
-		writeEngineError(w, err)
+	select {
+	case err := <-eng.RemoveAsync(flow.ID(r.PathValue("id"))):
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+	case <-r.Context().Done():
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (d *daemon) handleShares(w http.ResponseWriter, _ *http.Request) {
-	shares, epoch := d.engine.Shares()
+	eng := d.engine(w)
+	if eng == nil {
+		return
+	}
+	shares, epoch := eng.Shares()
 	out := struct {
 		Epoch  uint64             `json:"epoch"`
 		Shares map[string]float64 `json:"shares"`
@@ -259,8 +341,12 @@ func (d *daemon) handleShares(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (d *daemon) handleShare(w http.ResponseWriter, r *http.Request) {
+	eng := d.engine(w)
+	if eng == nil {
+		return
+	}
 	id := r.PathValue("id")
-	share, epoch, ok := d.engine.GetShare(flow.ID(id))
+	share, epoch, ok := eng.GetShare(flow.ID(id))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown flow "+id)
 		return
@@ -269,7 +355,11 @@ func (d *daemon) handleShare(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *daemon) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, d.engine.Stats())
+	eng := d.engine(w)
+	if eng == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, eng.Stats())
 }
 
 // writeEngineError maps the engine's typed errors onto HTTP statuses.
@@ -283,7 +373,7 @@ func writeEngineError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusConflict, err.Error())
 	case errors.Is(err, serve.ErrAdmission):
 		writeError(w, http.StatusTooManyRequests, err.Error())
-	case errors.Is(err, serve.ErrClosed):
+	case errors.Is(err, serve.ErrClosed), errors.Is(err, serve.ErrWAL):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	default:
 		writeError(w, http.StatusInternalServerError, err.Error())

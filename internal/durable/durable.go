@@ -1,0 +1,253 @@
+// Package durable is the persistence layer under the serving engine:
+// a per-shard write-ahead log of admission-ordered flow events plus
+// periodic snapshots of the committed flow state, from which a
+// crashed engine recovers byte-identical shares.
+//
+// The design leans on the same purity argument every other layer of
+// this repo uses: the allocation is a pure function of the ordered
+// live flow set, so durability only has to reconstruct that set (and
+// its epoch) — never the shares themselves. A shard's state is
+// therefore
+//
+//	state = replay(snapshot.Flows, WAL batches with epoch > snapshot.Epoch)
+//
+// and one re-price of the recovered set lands on exactly the bytes
+// the uninterrupted engine had published (pinned by the 100-seed
+// crash-point property test in internal/serve).
+//
+// Commit protocol (enforced by internal/serve): a shard worker
+// applies a batch in memory, prices it, appends the batch record to
+// the WAL (fsync per policy), and only then publishes the new share
+// snapshot and acks the clients. A crash before the append loses only
+// unacked events; a crash after it replays the batch on recovery —
+// both are states a client that never got an ack must tolerate, so
+// every acked event survives and no acked state is ever invented.
+//
+// File format: each file opens with an 8-byte magic; records are
+// CRC-32C framed ([u32 len][u32 crc][payload]). On open the WAL is
+// scanned and the first short/oversized/mismatched frame marks a torn
+// tail, which is truncated in place. Snapshots are written to a temp
+// file and atomically renamed, so a crash mid-snapshot leaves the
+// previous snapshot intact; the WAL is compacted (truncated to its
+// header) only after the rename lands, and replay skips any batch at
+// or below the snapshot epoch, so a crash between rename and compact
+// is also safe.
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+var (
+	// ErrCorrupt marks unrecoverable damage: a bad magic, an epoch gap
+	// mid-log, or an undecodable record *before* the torn tail. Torn
+	// tails themselves are expected crash debris and are truncated
+	// silently, never reported as ErrCorrupt.
+	ErrCorrupt = errors.New("durable: corrupt record")
+	// ErrCrashed is returned by appends after the test-only crash hook
+	// (FailAfter) has fired; the log is dead and the "process" is
+	// considered killed mid-write.
+	ErrCrashed = errors.New("durable: simulated crash")
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("durable: log closed")
+	// ErrMismatch is returned by Attach when the data directory was
+	// written for a different topology or shard count.
+	ErrMismatch = errors.New("durable: data dir does not match this topology")
+)
+
+// FsyncPolicy selects how eagerly WAL appends reach stable storage.
+type FsyncPolicy uint8
+
+const (
+	// FsyncBatch (the default) group-commits: the file is fsynced every
+	// batchSyncEvery appends and on snapshot/close. A process crash
+	// loses nothing (the page cache survives); an OS/power crash can
+	// lose up to the group window of acked batches.
+	FsyncBatch FsyncPolicy = iota
+	// FsyncAlways fsyncs after every appended batch: an ack implies the
+	// batch is on stable storage even across an OS crash. Slowest.
+	FsyncAlways
+	// FsyncNever never fsyncs: durability against process crashes only.
+	FsyncNever
+)
+
+// batchSyncEvery is the FsyncBatch group-commit window in appends.
+const batchSyncEvery = 16
+
+// ParseFsyncPolicy parses "always", "batch" or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "batch", "":
+		return FsyncBatch, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, batch or never)", s)
+}
+
+// String renders the policy as its flag spelling.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "batch"
+	}
+}
+
+// Options configures a Store.
+type Options struct {
+	// Policy is the WAL fsync policy; zero value is FsyncBatch.
+	Policy FsyncPolicy
+	// SnapshotEvery is how many accepted events a shard commits between
+	// automatic snapshots (each snapshot compacts the shard's WAL).
+	// 0 disables automatic snapshots: the WAL grows until a clean close
+	// writes the final snapshot.
+	SnapshotEvery int
+}
+
+// storeMeta is the data directory's identity file: recovery refuses a
+// directory written for a different topology or sharding.
+type storeMeta struct {
+	Version         int    `json:"version"`
+	Shards          int    `json:"shards"`
+	TopoFingerprint uint64 `json:"topoFingerprint"`
+}
+
+const metaName = "meta.json"
+
+// Store manages one data directory holding a meta file plus one WAL
+// and one snapshot file per engine shard. Open it once, hand it to
+// serve.Config.Durable, and the engine attaches (validating topology
+// identity), recovers and appends through it.
+type Store struct {
+	dir      string
+	opts     Options
+	attached bool
+}
+
+// Open prepares a data directory (creating it if needed). It does not
+// touch shard files — that happens in Attach, once the shard count
+// and topology fingerprint are known.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("durable: empty data dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	return &Store{dir: dir, opts: opts}, nil
+}
+
+// Dir returns the store's data directory.
+func (st *Store) Dir() string { return st.dir }
+
+// SnapshotEvery returns the configured automatic-snapshot cadence.
+func (st *Store) SnapshotEvery() int { return st.opts.SnapshotEvery }
+
+// Attach opens (or creates) the per-shard logs for an engine with the
+// given shard count over the topology identified by fingerprint. An
+// existing directory must match both exactly — a WAL replayed into a
+// different topology would silently mis-route flows. Each returned
+// ShardLog has already scanned its WAL, truncated any torn tail, and
+// holds the recovered snapshot + tail batches for the engine to
+// consume via Recovered. A store can be attached by one engine at a
+// time; close every ShardLog (the engine's Close does) before
+// reattaching.
+func (st *Store) Attach(shards int, fingerprint uint64) ([]*ShardLog, error) {
+	if st.attached {
+		return nil, fmt.Errorf("durable: store %s already attached", st.dir)
+	}
+	if shards <= 0 {
+		return nil, fmt.Errorf("durable: attach with %d shards", shards)
+	}
+	metaPath := filepath.Join(st.dir, metaName)
+	want := storeMeta{Version: 1, Shards: shards, TopoFingerprint: fingerprint}
+	if data, err := os.ReadFile(metaPath); err == nil {
+		var got storeMeta
+		if err := json.Unmarshal(data, &got); err != nil {
+			return nil, fmt.Errorf("%w: unreadable %s: %v", ErrCorrupt, metaPath, err)
+		}
+		if got != want {
+			return nil, fmt.Errorf("%w: %s has shards=%d fp=%#x, engine needs shards=%d fp=%#x",
+				ErrMismatch, metaPath, got.Shards, got.TopoFingerprint, shards, fingerprint)
+		}
+	} else if os.IsNotExist(err) {
+		data, err := json.Marshal(want)
+		if err != nil {
+			return nil, err
+		}
+		if err := atomicWrite(metaPath, data, st.opts.Policy != FsyncNever); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, err
+	}
+
+	logs := make([]*ShardLog, shards)
+	for i := range logs {
+		sl, err := openShardLog(st.dir, i, st.opts)
+		if err != nil {
+			for _, open := range logs[:i] {
+				open.Close()
+			}
+			return nil, err
+		}
+		logs[i] = sl
+	}
+	st.attached = true
+	return logs, nil
+}
+
+// Detach marks the store reattachable after its shard logs are
+// closed; the engine calls it from Close.
+func (st *Store) Detach() { st.attached = false }
+
+// atomicWrite writes data to path via a temp file + rename, fsyncing
+// the file (and its directory) when sync is set.
+func atomicWrite(path string, data []byte, sync bool) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if sync {
+		if d, err := os.Open(filepath.Dir(path)); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,465 @@
+package durable
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"e2efair/internal/flow"
+	"e2efair/internal/topology"
+)
+
+func testStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	st, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func attachOne(t *testing.T, st *Store) *ShardLog {
+	t.Helper()
+	logs, err := st.Attach(1, 0xfeedface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return logs[0]
+}
+
+func reopenOne(t *testing.T, st *Store) *ShardLog {
+	t.Helper()
+	st.Detach()
+	return attachOne(t, st)
+}
+
+func batch(epoch uint64, evs ...Event) BatchRecord {
+	return BatchRecord{Epoch: epoch, Events: evs}
+}
+
+func reg(id string, w float64, path ...topology.NodeID) Event {
+	return Event{Kind: EventRegister, ID: flow.ID(id), Weight: w, Path: path}
+}
+
+func rem(id string) Event {
+	return Event{Kind: EventRemove, ID: flow.ID(id)}
+}
+
+// TestAppendRecoverRoundTrip pins that appended batches come back
+// verbatim — kinds, verdicts, IDs, bit-exact weights, paths, epochs.
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	st := testStore(t, Options{})
+	sl := attachOne(t, st)
+	if snap, recs := sl.Recovered(); snap != nil || len(recs) != 0 {
+		t.Fatalf("fresh log recovered %v, %v", snap, recs)
+	}
+	want := []BatchRecord{
+		batch(1, reg("f1", 1.25, 0, 1, 2)),
+		batch(2, reg("f2", math.Nextafter(1, 2), 3, 4), Event{Kind: EventRegister, Verdict: Rejected, ID: "f1", Weight: 2, Path: []topology.NodeID{0, 1}}),
+		batch(3, rem("f1"), Event{Kind: EventRemove, Verdict: Rejected, ID: "ghost"}),
+	}
+	for i := range want {
+		if err := sl.AppendBatch(&want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sl2 := reopenOne(t, st)
+	defer sl2.Close()
+	snap, got := sl2.Recovered()
+	if snap != nil {
+		t.Fatalf("unexpected snapshot %+v", snap)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %+v\nwant %+v", got, want)
+	}
+}
+
+// TestTornTailTruncation is the byte-level crash sweep: a WAL holding
+// several records is cut at EVERY possible length; reopening must
+// always recover exactly the complete-record prefix and truncate the
+// file back to a record boundary.
+func TestTornTailTruncation(t *testing.T) {
+	st := testStore(t, Options{Policy: FsyncNever})
+	sl := attachOne(t, st)
+	recs := []BatchRecord{
+		batch(1, reg("a", 1, 0, 1)),
+		batch(2, reg("b", 2, 1, 2), rem("a")),
+		batch(3, reg("c", 3.5, 2, 3, 4, 5)),
+	}
+	var boundaries []int64 // WAL length after each append
+	boundaries = append(boundaries, sl.Size())
+	for i := range recs {
+		if err := sl.AppendBatch(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, sl.Size())
+	}
+	sl.Close()
+	walPath := sl.walPath
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	completeBelow := func(cut int64) int {
+		n := 0
+		for _, b := range boundaries[1:] {
+			if b <= cut {
+				n++
+			}
+		}
+		return n
+	}
+	for cut := int64(len(full)); cut >= 0; cut-- {
+		if err := os.WriteFile(walPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sl2 := reopenOne(t, st)
+		_, got := sl2.Recovered()
+		wantN := completeBelow(cut)
+		if len(got) != wantN {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), wantN)
+		}
+		if wantN > 0 && !reflect.DeepEqual(got, recs[:wantN]) {
+			t.Fatalf("cut %d: records diverged", cut)
+		}
+		wantSize := boundaries[wantN]
+		if cut < int64(len(walMagic)) {
+			wantSize = int64(len(walMagic)) // header rewritten
+		}
+		if sl2.Size() != wantSize {
+			t.Fatalf("cut %d: truncated to %d, want boundary %d", cut, sl2.Size(), wantSize)
+		}
+		if fi, err := os.Stat(walPath); err != nil || fi.Size() != wantSize {
+			t.Fatalf("cut %d: on-disk size %v/%v, want %d", cut, fi, err, wantSize)
+		}
+		sl2.Close()
+	}
+}
+
+// TestCorruptMiddleTruncates pins how mid-log damage is handled: the
+// CRC scan stops at the first bad frame and truncates there, exactly
+// like a torn tail — at the byte level the two are indistinguishable
+// (a sequential single writer can only tear at the end, so anything
+// after a bad frame is unreachable either way). What recovery never
+// does is serve records from BEYOND the damage, which is what the
+// epoch-contiguity check backstops.
+func TestCorruptMiddleTruncates(t *testing.T) {
+	st := testStore(t, Options{Policy: FsyncNever})
+	sl := attachOne(t, st)
+	for e := uint64(1); e <= 3; e++ {
+		b := batch(e, reg("f", float64(e), 0, 1))
+		if err := sl.AppendBatch(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sl.Close()
+	data, err := os.ReadFile(sl.walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the first record (well past the header).
+	data[int64(len(walMagic))+frameHeaderLen+3] ^= 0xFF
+	if err := os.WriteFile(sl.walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st.Detach()
+	// The CRC scan stops at record 1, treating records 2-3 as a "tail";
+	// that is indistinguishable from a torn tail at the byte level, so
+	// recovery yields zero records — never a gap.
+	sl2 := attachOne(t, st)
+	if _, got := sl2.Recovered(); len(got) != 0 {
+		t.Fatalf("recovered %d records across a corrupt middle", len(got))
+	}
+	sl2.Close()
+}
+
+// TestSnapshotCompaction pins the snapshot handoff: WriteSnapshot
+// replaces the snapshot atomically, compacts the WAL to its header,
+// and recovery = snapshot + post-snapshot tail only.
+func TestSnapshotCompaction(t *testing.T) {
+	st := testStore(t, Options{})
+	sl := attachOne(t, st)
+	for e := uint64(1); e <= 4; e++ {
+		b := batch(e, reg("pre", float64(e), 0, 1), rem("pre"))
+		if err := sl.AppendBatch(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := &Snapshot{
+		Epoch:    4,
+		Counters: []uint64{7, 8, 9},
+		Flows:    []FlowState{{ID: "live", Weight: 2.5, Path: []topology.NodeID{0, 1, 2}}},
+	}
+	if err := sl.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if sl.Size() != int64(len(walMagic)) {
+		t.Fatalf("WAL not compacted: %d bytes", sl.Size())
+	}
+	tail := batch(5, reg("post", 1, 3, 4))
+	if err := sl.AppendBatch(&tail); err != nil {
+		t.Fatal(err)
+	}
+	sl.Close()
+
+	sl2 := reopenOne(t, st)
+	defer sl2.Close()
+	gotSnap, gotTail := sl2.Recovered()
+	if gotSnap == nil || !reflect.DeepEqual(gotSnap, snap) {
+		t.Fatalf("snapshot round-trip failed: %+v", gotSnap)
+	}
+	if len(gotTail) != 1 || !reflect.DeepEqual(gotTail[0], tail) {
+		t.Fatalf("tail round-trip failed: %+v", gotTail)
+	}
+}
+
+// TestSnapshotRenameBeforeCompactCrash pins the in-between crash
+// state: snapshot renamed but WAL not yet compacted. Replay must skip
+// every batch at or below the snapshot epoch instead of double-
+// applying it.
+func TestSnapshotRenameBeforeCompactCrash(t *testing.T) {
+	st := testStore(t, Options{Policy: FsyncNever})
+	sl := attachOne(t, st)
+	for e := uint64(1); e <= 3; e++ {
+		b := batch(e, reg("f", 1, 0, 1), rem("f"))
+		if err := sl.AppendBatch(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Write the snapshot file directly, WITHOUT compacting — the state
+	// a crash between rename and truncate leaves behind.
+	snap := &Snapshot{Epoch: 2, Flows: []FlowState{{ID: "f", Weight: 1, Path: []topology.NodeID{0, 1}}}}
+	payload := appendSnapshotPayload(nil, snap)
+	data := appendFrame(append([]byte{}, snapMagic...), payload)
+	if err := os.WriteFile(sl.snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sl.Close()
+
+	sl2 := reopenOne(t, st)
+	defer sl2.Close()
+	gotSnap, tail := sl2.Recovered()
+	if gotSnap == nil || gotSnap.Epoch != 2 {
+		t.Fatalf("snapshot not loaded: %+v", gotSnap)
+	}
+	if len(tail) != 1 || tail[0].Epoch != 3 {
+		t.Fatalf("want only epoch-3 tail batch, got %+v", tail)
+	}
+}
+
+// TestFailAfterTornRecord pins the crash hook: an append cut mid-
+// record reports ErrCrashed, poisons the log, and leaves a torn tail
+// that the next open truncates away.
+func TestFailAfterTornRecord(t *testing.T) {
+	st := testStore(t, Options{Policy: FsyncNever})
+	sl := attachOne(t, st)
+	first := batch(1, reg("keep", 1, 0, 1))
+	if err := sl.AppendBatch(&first); err != nil {
+		t.Fatal(err)
+	}
+	sl.FailAfter(sl.Size() + 5) // cut inside the next record's frame
+	torn := batch(2, reg("torn", 1, 1, 2))
+	if err := sl.AppendBatch(&torn); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	third := batch(3, rem("keep"))
+	if err := sl.AppendBatch(&third); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("dead log accepted an append: %v", err)
+	}
+	// The torn prefix really made it to disk: the file is longer than
+	// the last complete record but shorter than a full append.
+	if fi, err := os.Stat(sl.walPath); err != nil || fi.Size() != sl.Size() {
+		t.Fatalf("on-disk %v/%v, tracked size %d", fi, err, sl.Size())
+	}
+	sl.Close()
+
+	sl2 := reopenOne(t, st)
+	defer sl2.Close()
+	_, got := sl2.Recovered()
+	if len(got) != 1 || !reflect.DeepEqual(got[0], first) {
+		t.Fatalf("recovered %+v, want only the first record", got)
+	}
+}
+
+// TestAttachMismatch pins the identity check: a data dir written for
+// one topology/sharding refuses an engine with another.
+func TestAttachMismatch(t *testing.T) {
+	st := testStore(t, Options{})
+	sl := attachOne(t, st)
+	sl.Close()
+	st.Detach()
+	if _, err := st.Attach(2, 0xfeedface); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("shard-count mismatch: %v", err)
+	}
+	if _, err := st.Attach(1, 0xdead); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("fingerprint mismatch: %v", err)
+	}
+	logs, err := st.Attach(1, 0xfeedface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs[0].Close()
+}
+
+// TestDoubleAttachRefused pins the single-attacher guard.
+func TestDoubleAttachRefused(t *testing.T) {
+	st := testStore(t, Options{})
+	sl := attachOne(t, st)
+	defer sl.Close()
+	if _, err := st.Attach(1, 0xfeedface); err == nil {
+		t.Fatal("second attach succeeded")
+	}
+}
+
+// TestFsyncPolicies exercises each policy end to end (behavioral
+// equivalence — real power-loss semantics are not testable in
+// process) and pins the parser.
+func TestFsyncPolicies(t *testing.T) {
+	for _, pol := range []FsyncPolicy{FsyncAlways, FsyncBatch, FsyncNever} {
+		st := testStore(t, Options{Policy: pol})
+		sl := attachOne(t, st)
+		for e := uint64(1); e <= uint64(batchSyncEvery)+3; e++ {
+			b := batch(e, reg("f", 1, 0, 1), rem("f"))
+			if err := sl.AppendBatch(&b); err != nil {
+				t.Fatalf("%v: %v", pol, err)
+			}
+		}
+		if err := sl.Sync(); err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		sl.Close()
+		sl2 := reopenOne(t, st)
+		if _, got := sl2.Recovered(); len(got) != batchSyncEvery+3 {
+			t.Fatalf("%v: recovered %d", pol, len(got))
+		}
+		sl2.Close()
+	}
+	for s, want := range map[string]FsyncPolicy{"always": FsyncAlways, "batch": FsyncBatch, "": FsyncBatch, "never": FsyncNever} {
+		got, err := ParseFsyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if FsyncAlways.String() != "always" || FsyncBatch.String() != "batch" || FsyncNever.String() != "never" {
+		t.Fatal("policy String round-trip broken")
+	}
+}
+
+// TestEpochGapRejected pins that a WAL whose tail epochs skip a value
+// is refused outright (can only happen via external tampering — the
+// CRC scan plus append ordering never produce it).
+func TestEpochGapRejected(t *testing.T) {
+	st := testStore(t, Options{Policy: FsyncNever})
+	sl := attachOne(t, st)
+	b1 := batch(1, reg("a", 1, 0, 1))
+	b3 := batch(3, reg("b", 1, 1, 2)) // skips epoch 2
+	if err := sl.AppendBatch(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.AppendBatch(&b3); err != nil {
+		t.Fatal(err)
+	}
+	sl.Close()
+	st.Detach()
+	if _, err := st.Attach(1, 0xfeedface); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("epoch gap accepted: %v", err)
+	}
+}
+
+// TestRandomizedChurnRoundTrip is a seeded property test over random
+// scripts: any sequence of batches with random specs and verdicts
+// survives close/reopen verbatim, with and without a mid-script
+// snapshot.
+func TestRandomizedChurnRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		st := testStore(t, Options{Policy: FsyncNever})
+		sl := attachOne(t, st)
+		var want []BatchRecord
+		var snap *Snapshot
+		epoch := uint64(0)
+		for b := 0; b < 1+rng.Intn(10); b++ {
+			epoch++
+			rec := BatchRecord{Epoch: epoch}
+			for e := 0; e < 1+rng.Intn(4); e++ {
+				if rng.Intn(2) == 0 {
+					path := make([]topology.NodeID, 2+rng.Intn(4))
+					for i := range path {
+						path[i] = topology.NodeID(rng.Intn(100))
+					}
+					ev := reg(randID(rng), rng.Float64()*10, path...)
+					if rng.Intn(5) == 0 {
+						ev.Verdict = Rejected
+					}
+					rec.Events = append(rec.Events, ev)
+				} else {
+					ev := rem(randID(rng))
+					if rng.Intn(5) == 0 {
+						ev.Verdict = Rejected
+					}
+					rec.Events = append(rec.Events, ev)
+				}
+			}
+			if err := sl.AppendBatch(&rec); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, rec)
+			if rng.Intn(4) == 0 {
+				snap = &Snapshot{Epoch: epoch, Counters: []uint64{uint64(b)},
+					Flows: []FlowState{{ID: flow.ID(randID(rng)), Weight: 1, Path: []topology.NodeID{0, 1}}}}
+				if err := sl.WriteSnapshot(snap); err != nil {
+					t.Fatal(err)
+				}
+				want = want[:0]
+			}
+		}
+		sl.Close()
+		sl2 := reopenOne(t, st)
+		gotSnap, got := sl2.Recovered()
+		if !reflect.DeepEqual(gotSnap, snap) {
+			t.Fatalf("seed %d: snapshot mismatch", seed)
+		}
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("seed %d: %d/%d batches survived", seed, len(got), len(want))
+		}
+		sl2.Close()
+	}
+}
+
+func randID(rng *rand.Rand) string {
+	const alpha = "abcdefgh"
+	n := 1 + rng.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return string(b)
+}
+
+// TestOpenRejectsForeignFile pins that a file with the wrong magic is
+// an error, not a silent wipe.
+func TestOpenRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "shard-0000.wal"), []byte("NOTAWAL!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Attach(1, 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("foreign WAL accepted: %v", err)
+	}
+}

@@ -1,0 +1,355 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"e2efair/internal/flow"
+	"e2efair/internal/topology"
+)
+
+// On-disk framing: every record is [u32 payloadLen][u32 CRC-32C of
+// payload][payload]. The payload's first byte is its record kind. A
+// record whose frame is short, whose length is implausible, or whose
+// CRC does not match terminates the scan: everything before it is the
+// recovered log, everything from it on is a torn tail to truncate.
+const (
+	frameHeaderLen = 8
+	// maxRecordBytes bounds a single payload. A batch of MaxBatch=64
+	// register events over long paths is a few KiB; the cap exists so a
+	// corrupt length field can never drive a giant allocation.
+	maxRecordBytes = 1 << 26
+
+	recKindBatch    = 1
+	recKindSnapshot = 2
+
+	// maxCount bounds decoded element counts (events, path hops, id
+	// bytes, counters) for the same reason as maxRecordBytes.
+	maxCount = 1 << 20
+)
+
+// castagnoli is the CRC-32C table used for every frame.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EventKind distinguishes the two flow-registry mutations.
+type EventKind uint8
+
+const (
+	// EventRegister is a flow registration; the Event carries the spec.
+	EventRegister EventKind = 1
+	// EventRemove is a flow removal; the Event carries only the ID.
+	EventRemove EventKind = 2
+)
+
+// Verdict is the admission outcome recorded with each event. Only
+// accepted events mutate state on replay; rejected ones are retained
+// for audit and counter continuity.
+type Verdict uint8
+
+const (
+	// Accepted means the event mutated the live flow set.
+	Accepted Verdict = 0
+	// Rejected means admission (duplicate, flow cap, min-share floor,
+	// unknown remove) refused the event; it changed nothing.
+	Rejected Verdict = 1
+)
+
+// Event is one admission-ordered flow event as logged. Register events
+// carry the full spec so replay can rebuild the flow byte-for-byte;
+// remove events carry only the ID.
+type Event struct {
+	Kind    EventKind
+	Verdict Verdict
+	ID      flow.ID
+	Weight  float64           // register only
+	Path    []topology.NodeID // register only
+}
+
+// BatchRecord is one committed batch: the shard epoch the batch
+// produced and its events in application order. Epochs in a WAL are
+// strictly increasing by one across changed batches, which is what
+// lets recovery detect mid-log corruption (torn tails are handled by
+// the frame scan; an epoch gap can only mean a damaged middle).
+type BatchRecord struct {
+	Epoch  uint64
+	Events []Event
+}
+
+// FlowState is one live flow inside a Snapshot, in shard registration
+// order.
+type FlowState struct {
+	ID     flow.ID
+	Weight float64
+	Path   []topology.NodeID
+}
+
+// Snapshot is a shard's committed state at an epoch: the live flows in
+// registration order plus the serving counters. Shares are not stored
+// — the allocation is a pure function of the ordered flow set, so
+// recovery re-prices once and lands on bit-identical shares.
+type Snapshot struct {
+	Epoch    uint64
+	Counters []uint64 // opaque to durable; packed/unpacked by the caller
+	Flows    []FlowState
+}
+
+// --- encoding -------------------------------------------------------
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendPath(b []byte, path []topology.NodeID) []byte {
+	b = appendU32(b, uint32(len(path)))
+	for _, n := range path {
+		b = appendU32(b, uint32(n))
+	}
+	return b
+}
+
+// appendFrame appends [len][crc][payload] to buf.
+func appendFrame(buf, payload []byte) []byte {
+	buf = appendU32(buf, uint32(len(payload)))
+	buf = appendU32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// appendBatchPayload encodes rec (without framing) onto buf.
+func appendBatchPayload(buf []byte, rec *BatchRecord) []byte {
+	buf = append(buf, recKindBatch)
+	buf = appendU64(buf, rec.Epoch)
+	buf = appendU32(buf, uint32(len(rec.Events)))
+	for i := range rec.Events {
+		ev := &rec.Events[i]
+		buf = append(buf, byte(ev.Kind), byte(ev.Verdict))
+		buf = appendStr(buf, string(ev.ID))
+		if ev.Kind == EventRegister {
+			buf = appendU64(buf, floatBits(ev.Weight))
+			buf = appendPath(buf, ev.Path)
+		}
+	}
+	return buf
+}
+
+// appendSnapshotPayload encodes snap (without framing) onto buf.
+func appendSnapshotPayload(buf []byte, snap *Snapshot) []byte {
+	buf = append(buf, recKindSnapshot)
+	buf = appendU64(buf, snap.Epoch)
+	buf = appendU32(buf, uint32(len(snap.Counters)))
+	for _, c := range snap.Counters {
+		buf = appendU64(buf, c)
+	}
+	buf = appendU32(buf, uint32(len(snap.Flows)))
+	for i := range snap.Flows {
+		f := &snap.Flows[i]
+		buf = appendStr(buf, string(f.ID))
+		buf = appendU64(buf, floatBits(f.Weight))
+		buf = appendPath(buf, f.Path)
+	}
+	return buf
+}
+
+// --- decoding -------------------------------------------------------
+
+// cursor is a bounds-checked little-endian reader over one payload.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("%w: truncated %s at offset %d", ErrCorrupt, what, c.off)
+	}
+}
+
+func (c *cursor) u8(what string) uint8 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+1 > len(c.b) {
+		c.fail(what)
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u32(what string) uint32 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+4 > len(c.b) {
+		c.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64(what string) uint64 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+8 > len(c.b) {
+		c.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) count(what string) int {
+	n := c.u32(what)
+	if c.err == nil && n > maxCount {
+		c.err = fmt.Errorf("%w: %s count %d exceeds limit", ErrCorrupt, what, n)
+	}
+	return int(n)
+}
+
+func (c *cursor) str(what string) string {
+	n := c.count(what + " length")
+	if c.err != nil {
+		return ""
+	}
+	if c.off+n > len(c.b) {
+		c.fail(what)
+		return ""
+	}
+	s := string(c.b[c.off : c.off+n])
+	c.off += n
+	return s
+}
+
+func (c *cursor) path() []topology.NodeID {
+	n := c.count("path")
+	if c.err != nil || n == 0 {
+		return nil
+	}
+	if c.off+4*n > len(c.b) {
+		c.fail("path")
+		return nil
+	}
+	out := make([]topology.NodeID, n)
+	for i := range out {
+		out[i] = topology.NodeID(c.u32("path node"))
+	}
+	return out
+}
+
+// done enforces that decoding consumed the payload exactly; together
+// with enum validation this makes encode∘decode the identity on valid
+// payloads (the round-trip property the fuzzer pins).
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(c.b)-c.off)
+	}
+	return nil
+}
+
+// decodeBatch parses one batch payload (including its kind byte).
+func decodeBatch(p []byte) (BatchRecord, error) {
+	c := &cursor{b: p}
+	var rec BatchRecord
+	if k := c.u8("record kind"); c.err == nil && k != recKindBatch {
+		return rec, fmt.Errorf("%w: record kind %d, want batch", ErrCorrupt, k)
+	}
+	rec.Epoch = c.u64("epoch")
+	n := c.count("events")
+	if c.err != nil {
+		return rec, c.err
+	}
+	rec.Events = make([]Event, 0, min(n, 4096))
+	for i := 0; i < n && c.err == nil; i++ {
+		var ev Event
+		ev.Kind = EventKind(c.u8("event kind"))
+		ev.Verdict = Verdict(c.u8("verdict"))
+		if c.err == nil && ev.Kind != EventRegister && ev.Kind != EventRemove {
+			return rec, fmt.Errorf("%w: event kind %d", ErrCorrupt, ev.Kind)
+		}
+		if c.err == nil && ev.Verdict != Accepted && ev.Verdict != Rejected {
+			return rec, fmt.Errorf("%w: verdict %d", ErrCorrupt, ev.Verdict)
+		}
+		ev.ID = flow.ID(c.str("event id"))
+		if ev.Kind == EventRegister {
+			ev.Weight = floatFromBits(c.u64("weight"))
+			ev.Path = c.path()
+		}
+		rec.Events = append(rec.Events, ev)
+	}
+	if err := c.done(); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// decodeSnapshot parses one snapshot payload (including its kind byte).
+func decodeSnapshot(p []byte) (*Snapshot, error) {
+	c := &cursor{b: p}
+	if k := c.u8("record kind"); c.err == nil && k != recKindSnapshot {
+		return nil, fmt.Errorf("%w: record kind %d, want snapshot", ErrCorrupt, k)
+	}
+	snap := &Snapshot{Epoch: c.u64("epoch")}
+	nc := c.count("counters")
+	for i := 0; i < nc && c.err == nil; i++ {
+		snap.Counters = append(snap.Counters, c.u64("counter"))
+	}
+	nf := c.count("flows")
+	if c.err != nil {
+		return nil, c.err
+	}
+	snap.Flows = make([]FlowState, 0, min(nf, 4096))
+	for i := 0; i < nf && c.err == nil; i++ {
+		var f FlowState
+		f.ID = flow.ID(c.str("flow id"))
+		f.Weight = floatFromBits(c.u64("weight"))
+		f.Path = c.path()
+		snap.Flows = append(snap.Flows, f)
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// scanFrames walks data and returns every complete, CRC-valid payload
+// plus the byte length of the valid prefix. The scan stops (without
+// error) at the first frame that is short, oversized, or checksum-
+// mismatched: by construction that can only be a torn tail, and the
+// caller truncates the file to the returned length.
+func scanFrames(data []byte) (payloads [][]byte, valid int) {
+	off := 0
+	for {
+		if off+frameHeaderLen > len(data) {
+			return payloads, off
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxRecordBytes || off+frameHeaderLen+int(n) > len(data) {
+			return payloads, off
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+int(n)]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return payloads, off
+		}
+		payloads = append(payloads, payload)
+		off += frameHeaderLen + int(n)
+	}
+}

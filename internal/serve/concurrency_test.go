@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"e2efair/internal/durable"
 	"e2efair/internal/flow"
 )
 
@@ -120,4 +123,106 @@ func TestSnapshotReadsZeroAlloc(t *testing.T) {
 	}
 	_ = sink
 	_ = events
+}
+
+// TestDurableReadsZeroAlloc pins that turning durability on costs the
+// read path nothing: the WAL sits entirely on the write side of the
+// commit protocol, so GetShare against a durable engine still runs at
+// 0 allocs/op.
+func TestDurableReadsZeroAlloc(t *testing.T) {
+	topo, ids := clusteredTopo(t, 2, 4)
+	store, err := durable.Open(t.TempDir(), durable.Options{SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Topo: topo, Durable: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	id := flow.ID("f0")
+	if err := e.Register(FlowSpec{ID: id, Weight: 1, Path: ids[0]}); err != nil {
+		t.Fatal(err)
+	}
+
+	var sink float64
+	if n := testing.AllocsPerRun(1000, func() {
+		share, _, ok := e.GetShare(id)
+		if !ok {
+			t.Fatal("flow vanished")
+		}
+		sink += share
+	}); n != 0 {
+		t.Fatalf("durable GetShare allocates %v times per op, want 0", n)
+	}
+	_ = sink
+}
+
+// TestCloseRaceInFlight pins Close's contract against racing writers:
+// registrations fired concurrently with Close each resolve to exactly
+// one of (a) nil — the flow committed, its share is readable even on
+// the drained engine — or (b) ErrClosed. No hang, no lost ack, no
+// third outcome. Run under -race this also proves the stopping/drain
+// handshake is clean.
+func TestCloseRaceInFlight(t *testing.T) {
+	topo, ids := clusteredTopo(t, 2, 4)
+	store, err := durable.Open(t.TempDir(), durable.Options{SnapshotEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Topo: topo, Durable: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, perWriter = 8, 40
+	type outcome struct {
+		id  flow.ID
+		err error
+	}
+	results := make(chan outcome, writers*perWriter)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				id := flow.ID(fmt.Sprintf("w%dr%d", w, i))
+				done := e.RegisterAsync(FlowSpec{ID: id, Weight: 1, Path: ids[(w+i)%len(ids)][:2]})
+				results <- outcome{id, <-done}
+			}
+		}(w)
+	}
+	close(start)
+	// Let some registrations land, then slam the door mid-stream.
+	for e.Stats().Registers == 0 {
+		runtime.Gosched()
+	}
+	e.Close()
+	wg.Wait()
+	close(results)
+
+	committed, rejected := 0, 0
+	for r := range results {
+		switch {
+		case r.err == nil:
+			committed++
+			if share, _, ok := e.GetShare(r.id); !ok || share <= 0 {
+				t.Fatalf("flow %s acked but unreadable after Close (share=%v ok=%v)", r.id, share, ok)
+			}
+		case errors.Is(r.err, ErrClosed):
+			rejected++
+		default:
+			t.Fatalf("flow %s: unexpected outcome %v", r.id, r.err)
+		}
+	}
+	if committed+rejected != writers*perWriter {
+		t.Fatalf("lost acks: %d committed + %d rejected != %d fired",
+			committed, rejected, writers*perWriter)
+	}
+	if committed == 0 {
+		t.Fatal("Close raced ahead of every registration; test proved nothing")
+	}
 }

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"e2efair/internal/core"
+	"e2efair/internal/durable"
+)
+
+// durableOpts draws a random persistence configuration so the property
+// test covers every fsync policy and snapshot cadence (including "no
+// automatic snapshots", which forces full-WAL replay).
+func durableOpts(rng *rand.Rand) durable.Options {
+	policies := []durable.FsyncPolicy{durable.FsyncAlways, durable.FsyncBatch, durable.FsyncNever}
+	cadences := []int{0, 1, 3, 7}
+	return durable.Options{
+		Policy:        policies[rng.Intn(len(policies))],
+		SnapshotEvery: cadences[rng.Intn(len(cadences))],
+	}
+}
+
+func applyOp(e *Engine, o churnOp) error {
+	if o.register {
+		return e.Register(o.spec)
+	}
+	return e.Remove(o.id)
+}
+
+// TestCrashRecoveryEquivalence is the durability tentpole property
+// test: over 100 seeded churn scripts, killing a durable engine at a
+// random event boundary — and, on a third of the seeds, mid-append so
+// the WAL's final record is torn — then recovering and finishing the
+// script yields byte-identical shares, identical per-event verdicts
+// and identical epochs to an uninterrupted volatile run. The recovered
+// state is the snapshot + WAL-tail flow set re-priced once, so this
+// pins the whole commit protocol: every acked event survives the
+// crash, the torn (never-acked) event does not, and the single
+// recovery solve reproduces the exact bytes the reference published.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	for seed := 0; seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		clusters := 2 + rng.Intn(2)
+		topo, ids := clusteredTopo(t, clusters, 4+rng.Intn(2))
+		ops := randChurn(rng, ids, 10+rng.Intn(8))
+		crashAt := rng.Intn(len(ops) + 1)
+		tearFinal := seed%3 == 0 && crashAt < len(ops)
+		opts := durableOpts(rng)
+		dir := t.TempDir()
+
+		// Reference: the uninterrupted volatile run.
+		ref, err := New(Config{Topo: topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refErrs := make([]string, len(ops))
+		for i, o := range ops {
+			refErrs[i] = opErrClass(applyOp(ref, o))
+		}
+		refShares, refEpoch := ref.Shares()
+		refStats := ref.Stats()
+		ref.Close()
+
+		// Durable run, first life: apply the prefix, then die.
+		store, err := durable.Open(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(Config{Topo: topo, Durable: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < crashAt; i++ {
+			if got := opErrClass(applyOp(eng, ops[i])); got != refErrs[i] {
+				t.Fatalf("seed %d op %d pre-crash: got %q want %q", seed, i, got, refErrs[i])
+			}
+		}
+		if tearFinal {
+			// Arm the crash hook on every shard log: whichever shard the
+			// next event lands on, its append is cut a few bytes in — the
+			// torn final record kill -9 leaves. The event is failed with
+			// ErrWAL (never acked) and rolled back, so recovery must
+			// neither see it nor lose anything that WAS acked.
+			for _, s := range eng.shards {
+				s.dlog.FailAfter(s.dlog.Size() + 1 + int64(rng.Intn(12)))
+			}
+			err := applyOp(eng, ops[crashAt])
+			want := refErrs[crashAt]
+			if got := opErrClass(err); got != want && !errors.Is(err, ErrWAL) {
+				t.Fatalf("seed %d torn op %d: got %q want %q or ErrWAL", seed, crashAt, got, want)
+			}
+		}
+		eng.crash()
+
+		// Second life: recover and finish the script.
+		store2, err := durable.Open(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng2, err := New(Config{Topo: topo, Durable: store2})
+		if err != nil {
+			t.Fatalf("seed %d: recovery failed: %v", seed, err)
+		}
+		rec := eng2.Recovery()
+		midShares, midEpoch := eng2.Shares()
+		if rec.Flows != len(midShares) {
+			t.Fatalf("seed %d: RecoveryInfo.Flows=%d but %d shares visible", seed, rec.Flows, len(midShares))
+		}
+		if rec.Epoch != midEpoch {
+			t.Fatalf("seed %d: RecoveryInfo.Epoch=%d but Shares epoch %d", seed, rec.Epoch, midEpoch)
+		}
+		// Every recovered flow must be point-readable (directory + route
+		// repopulated), and at exactly the merged-share value.
+		for id, want := range midShares {
+			got, _, ok := eng2.GetShare(id)
+			if !ok || math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("seed %d: recovered flow %s: GetShare=(%v,%v) want %v", seed, id, got, ok, want)
+			}
+		}
+		for i := crashAt; i < len(ops); i++ {
+			if got := opErrClass(applyOp(eng2, ops[i])); got != refErrs[i] {
+				t.Fatalf("seed %d op %d post-recovery: got %q want %q", seed, i, got, refErrs[i])
+			}
+		}
+		assertSameState(t, seed, "post-recovery", eng2, refShares, refEpoch, refStats)
+		eng2.Close()
+
+		// Third life: a clean Close wrote final snapshots and compacted
+		// the WALs; recovery from snapshot-only state must land on the
+		// same bytes again with nothing to replay.
+		store3, err := durable.Open(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng3, err := New(Config{Topo: topo, Durable: store3})
+		if err != nil {
+			t.Fatalf("seed %d: snapshot-only recovery failed: %v", seed, err)
+		}
+		if rec := eng3.Recovery(); rec.Batches != 0 {
+			t.Fatalf("seed %d: clean close left %d WAL batches to replay", seed, rec.Batches)
+		}
+		assertSameState(t, seed, "snapshot-only", eng3, refShares, refEpoch, refStats)
+		eng3.Close()
+	}
+}
+
+// assertSameState checks an engine's published shares, epoch sum and
+// membership counters bit-for-bit against the reference run. Solver
+// counters (Rebuilds, GroupsSolved, ...) are excluded: recovery prices
+// the replayed tail in ONE solve where the live run used several, by
+// design. Batches and Rejected are also excluded: a flush-only or
+// all-rejected batch commits nothing and is (correctly) never logged,
+// so those two counters are best-effort across a crash.
+func assertSameState(t *testing.T, seed int, stage string, e *Engine, wantShares core.FlowAllocation, wantEpoch uint64, want Stats) {
+	t.Helper()
+	shares, epoch := e.Shares()
+	if len(shares) != len(wantShares) {
+		t.Fatalf("seed %d %s: %d flows, want %d", seed, stage, len(shares), len(wantShares))
+	}
+	for id, x := range wantShares {
+		got, ok := shares[id]
+		if !ok || math.Float64bits(got) != math.Float64bits(x) {
+			t.Fatalf("seed %d %s: flow %s share %v, want %v", seed, stage, id, got, x)
+		}
+	}
+	if epoch != wantEpoch {
+		t.Fatalf("seed %d %s: epoch %d, want %d", seed, stage, epoch, wantEpoch)
+	}
+	got := e.Stats()
+	if got.Events != want.Events || got.Registers != want.Registers ||
+		got.Removes != want.Removes ||
+		got.Epoch != want.Epoch || got.Flows != want.Flows {
+		t.Fatalf("seed %d %s: membership counters %+v, want %+v", seed, stage, got, want)
+	}
+}
+
+// TestWALLessModeIsVolatile pins satellite guarantee: a Config without
+// Durable builds an engine with nil shard logs, zero WAL counters and
+// the exact pre-durability behavior (nothing on disk, nothing to
+// recover).
+func TestWALLessModeIsVolatile(t *testing.T) {
+	topo, ids := clusteredTopo(t, 2, 4)
+	e, err := New(Config{Topo: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for _, s := range e.shards {
+		if s.dlog != nil {
+			t.Fatalf("shard %d has a WAL without Config.Durable", s.id)
+		}
+	}
+	if err := e.Register(FlowSpec{ID: "f0", Weight: 1, Path: ids[0]}); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.WALBatches != 0 || st.Snapshots != 0 || st.SnapshotErrors != 0 {
+		t.Fatalf("volatile engine reports durability counters: %+v", st)
+	}
+	if rec := e.Recovery(); rec != (RecoveryInfo{}) {
+		t.Fatalf("volatile engine reports recovery %+v", rec)
+	}
+}

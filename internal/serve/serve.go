@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"e2efair/internal/core"
+	"e2efair/internal/durable"
 	"e2efair/internal/flow"
 	"e2efair/internal/routing"
 	"e2efair/internal/topology"
@@ -68,6 +69,10 @@ var (
 	// ErrBadFlow wraps validation failures of a FlowSpec (unknown
 	// nodes, non-link hops, shortcut paths, non-positive weight).
 	ErrBadFlow = errors.New("serve: invalid flow")
+	// ErrWAL wraps write-ahead-log append failures on a durable engine.
+	// Events failed with it were rolled back, never acked, and will not
+	// survive a restart.
+	ErrWAL = errors.New("serve: write-ahead log append failed")
 )
 
 // FlowSpec describes one flow to register: an engine-unique ID, a
@@ -121,6 +126,27 @@ type Config struct {
 	// distributed scheme evaluated at the shard level — conservative
 	// across a shard with several contending groups, exact within one.
 	MinShare float64
+
+	// Durable, when non-nil, makes the engine persistent: each shard
+	// write-ahead-logs its batches before publishing and New recovers
+	// the flow set (snapshot + WAL tail replay, one re-price) from the
+	// store's data directory. nil keeps the engine fully volatile with
+	// the exact pre-durability behavior and read-path allocation
+	// profile.
+	Durable *durable.Store
+}
+
+// RecoveryInfo summarizes what New rebuilt from a durable store.
+type RecoveryInfo struct {
+	// Flows is the number of live flows restored (snapshot flows plus
+	// accepted WAL-tail registers minus removes).
+	Flows int
+	// Batches is the number of WAL tail batches replayed on top of the
+	// snapshots.
+	Batches int
+	// Epoch is the sum of recovered shard epochs (the same coarse
+	// global version Shares reports).
+	Epoch uint64
 }
 
 // Engine is the serving core: a sharded flow registry with batched
@@ -146,6 +172,11 @@ type Engine struct {
 	// typed key — no boxing, no locks, no allocation.
 	dir   atomic.Pointer[directory]
 	dirMu sync.Mutex
+
+	// store is the attached durable store (nil when volatile) and
+	// recovery what New rebuilt from it.
+	store    *durable.Store
+	recovery RecoveryInfo
 
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -177,12 +208,58 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.shards[c] = newShard(e, c, cfg)
 	}
+	if cfg.Durable != nil {
+		if err := e.attachAndRecover(cfg.Durable); err != nil {
+			return nil, err
+		}
+	}
 	for _, s := range e.shards {
 		e.wg.Add(1)
 		go s.loop()
 	}
 	return e, nil
 }
+
+// attachAndRecover binds the durable store to the engine's shards and
+// replays each shard's snapshot + WAL tail before any worker starts:
+// until New returns, no share is readable and no churn is accepted, so
+// recovery is single-threaded and race-free by construction.
+func (e *Engine) attachAndRecover(store *durable.Store) error {
+	logs, err := store.Attach(len(e.shards), e.topo.AdjacencyFingerprint())
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fail := func(err error) error {
+		for _, sl := range logs {
+			sl.Close()
+		}
+		store.Detach()
+		return err
+	}
+	nd := make(directory)
+	for i, s := range e.shards {
+		s.dlog = logs[i]
+		s.snapEvery = store.SnapshotEvery()
+		n, err := s.recover()
+		if err != nil {
+			return fail(fmt.Errorf("serve: recovery: %w", err))
+		}
+		e.recovery.Batches += n
+		e.recovery.Flows += len(s.flows)
+		e.recovery.Epoch += s.stats.Epoch
+		for _, f := range s.flows {
+			nd[f.ID()] = s
+			e.route.Store(f.ID(), s)
+		}
+	}
+	e.dir.Store(&nd)
+	e.store = store
+	return nil
+}
+
+// Recovery reports what New rebuilt from the durable store; the zero
+// value means a volatile engine or an empty data directory.
+func (e *Engine) Recovery() RecoveryInfo { return e.recovery }
 
 // NumShards returns the number of radio-component shards.
 func (e *Engine) NumShards() int { return len(e.shards) }
@@ -280,8 +357,19 @@ func (e *Engine) Flush() error {
 
 // Close drains and stops the engine: new operations are rejected with
 // ErrClosed, every already-queued event is applied and committed, and
-// all shard workers exit before Close returns. Idempotent.
-func (e *Engine) Close() {
+// all shard workers exit before Close returns. On a durable engine it
+// then writes a final snapshot per shard (compacting the WALs, so the
+// next boot restores without replay) and releases the store.
+// Idempotent.
+func (e *Engine) Close() { e.shutdown(true) }
+
+// crash is Close without the final snapshots: workers stop, file
+// handles close, but the data directory is left exactly as the last
+// committed append wrote it — the disk state a kill -9 leaves behind.
+// Test-only seam for the crash-recovery property tests.
+func (e *Engine) crash() { e.shutdown(false) }
+
+func (e *Engine) shutdown(final bool) {
 	e.closeOnce.Do(func() {
 		for _, s := range e.shards {
 			s.mu.Lock()
@@ -290,6 +378,19 @@ func (e *Engine) Close() {
 			s.wakeUp()
 		}
 		e.wg.Wait()
+		for _, s := range e.shards {
+			if s.dlog == nil {
+				continue
+			}
+			if final {
+				// Workers have exited; the worker-owned state is ours.
+				s.writeDurableSnapshot()
+			}
+			s.dlog.Close()
+		}
+		if e.store != nil {
+			e.store.Detach()
+		}
 	})
 }
 
@@ -349,6 +450,9 @@ func (e *Engine) Stats() Stats {
 		st.GroupsReused += s.GroupsReused
 		st.CacheEvictions += s.CacheEvictions
 		st.Flows += s.Flows
+		st.WALBatches += s.WALBatches
+		st.Snapshots += s.Snapshots
+		st.SnapshotErrors += s.SnapshotErrors
 	}
 	return st
 }

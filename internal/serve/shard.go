@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"e2efair/internal/core"
+	"e2efair/internal/durable"
 	"e2efair/internal/flow"
 	"e2efair/internal/topology"
 )
@@ -39,7 +40,32 @@ type ShardStats struct {
 	GroupsSolved   uint64 `json:"groupsSolved"`
 	GroupsReused   uint64 `json:"groupsReused"`
 	CacheEvictions uint64 `json:"cacheEvictions"`
-	Flows          uint64 `json:"flows"` // live flows at last commit
+	Flows          uint64 `json:"flows"`          // live flows at last commit
+	WALBatches     uint64 `json:"walBatches"`     // batches appended to the WAL
+	Snapshots      uint64 `json:"snapshots"`      // durable snapshots written
+	SnapshotErrors uint64 `json:"snapshotErrors"` // failed snapshot writes (WAL keeps covering)
+}
+
+// counters packs the stats for a durable snapshot; restoreCounters is
+// its inverse. Field order is append-only: recovery takes the prefix
+// both sides know, so old snapshots stay readable as fields grow.
+func (s *ShardStats) counters() []uint64 {
+	return []uint64{
+		s.Epoch, s.Batches, s.Events, s.Registers, s.Removes, s.Rejected,
+		s.Rebuilds, s.GroupsSolved, s.GroupsReused, s.CacheEvictions,
+		s.Flows, s.WALBatches, s.Snapshots, s.SnapshotErrors,
+	}
+}
+
+func (s *ShardStats) restoreCounters(c []uint64) {
+	dst := []*uint64{
+		&s.Epoch, &s.Batches, &s.Events, &s.Registers, &s.Removes, &s.Rejected,
+		&s.Rebuilds, &s.GroupsSolved, &s.GroupsReused, &s.CacheEvictions,
+		&s.Flows, &s.WALBatches, &s.Snapshots, &s.SnapshotErrors,
+	}
+	for i := 0; i < len(c) && i < len(dst); i++ {
+		*dst[i] = c[i]
+	}
 }
 
 // Stats is the engine-wide sum of per-shard counters plus the shard
@@ -57,6 +83,9 @@ type Stats struct {
 	GroupsReused   uint64 `json:"groupsReused"`
 	CacheEvictions uint64 `json:"cacheEvictions"`
 	Flows          uint64 `json:"flows"`
+	WALBatches     uint64 `json:"walBatches"`
+	Snapshots      uint64 `json:"snapshots"`
+	SnapshotErrors uint64 `json:"snapshotErrors"`
 }
 
 type opKind uint8
@@ -106,8 +135,14 @@ type shard struct {
 	index    map[flow.ID]int
 	wvLoad   float64 // Σ w_i·v_i over live flows (admission)
 	stats    ShardStats
-	spare    []op           // double-buffer for the pending queue
-	rollback []*flow.Flow   // pre-batch flow list for solve-error rollback
+	spare    []op         // double-buffer for the pending queue
+	rollback []*flow.Flow // pre-batch flow list for solve-error rollback
+
+	// Durability (nil dlog = volatile shard, the PR 9 behavior).
+	dlog      *durable.ShardLog
+	snapEvery int // accepted events between durable snapshots; 0 = never
+	sinceSnap int // accepted events since the last durable snapshot
+	walRec    durable.BatchRecord // scratch for WAL appends
 }
 
 // emptyShares is the shared immutable share map of an empty shard.
@@ -216,26 +251,42 @@ func (s *shard) applyBatch(batch []op) {
 // equals the order a sequential caller would have applied, and every
 // solve is a pure function of the final flow set, so batch-final
 // shares are byte-identical to one-at-a-time application.
+//
+// Commit protocol when the shard is durable: apply in memory → price →
+// append the batch (events + verdicts + next epoch) to the WAL, fsync
+// per policy → publish the snapshot → ack the clients. A WAL append
+// failure rolls the batch back and fails its clients (the engine
+// never acks state it cannot recover); a crash between append and ack
+// replays the batch on recovery, so an acked event always survives
+// and an unacked one is in exactly one of {applied, lost} — the same
+// two outcomes any client of a crashing server must already handle.
 func (s *shard) applyChunk(ops []op) {
 	s.stats.Batches++
 	s.rollback = append(s.rollback[:0], s.flows...)
 	rollbackLoad := s.wvLoad
-	changed := false
+	rollbackStats := s.stats
+	accepted := 0
 	for i := range ops {
 		o := &ops[i]
 		o.err = s.applyOne(o)
 		if o.err == nil && o.kind != opFlush {
-			changed = true
+			accepted++
 			s.stats.Events++
 		}
 	}
+	changed := accepted > 0
 	if changed {
-		if err := s.rebuildAndPublish(); err != nil {
-			// Roll the flow set back and fail every event that had
-			// been accepted into this batch; the published snapshot
-			// still describes the last good state.
+		shares, err := s.price()
+		if err == nil && s.dlog != nil {
+			err = s.logBatch(ops)
+		}
+		if err != nil {
+			// Roll the flow set and counters back and fail every event
+			// that had been accepted into this batch; the published
+			// snapshot still describes the last good state.
 			s.flows = append(s.flows[:0], s.rollback...)
 			s.wvLoad = rollbackLoad
+			s.stats = rollbackStats
 			clear(s.index)
 			for i, f := range s.flows {
 				s.index[f.ID()] = i
@@ -247,6 +298,10 @@ func (s *shard) applyChunk(ops []op) {
 				}
 			}
 			changed = false
+		} else {
+			s.publish(shares)
+			s.sinceSnap += accepted
+			s.maybeSnapshot()
 		}
 	}
 	if !changed {
@@ -320,25 +375,25 @@ func (s *shard) applyOne(o *op) error {
 	return fmt.Errorf("serve: unknown op kind %d", o.kind)
 }
 
-// rebuildAndPublish prices the current flow set — one flow.Set +
-// core.Instance build, one CentralizedDelta that re-solves only the
-// contending groups the batch actually changed — and swaps in the new
-// snapshot. A batch that empties the shard publishes the shared empty
-// share map without solving anything.
-func (s *shard) rebuildAndPublish() error {
+// price solves the current flow set — one flow.Set + core.Instance
+// build, one CentralizedDelta that re-solves only the contending
+// groups the batch actually changed — without publishing anything. A
+// batch that empties the shard prices to the shared empty share map
+// without solving.
+func (s *shard) price() (core.FlowAllocation, error) {
 	shares := emptyShares
 	if len(s.flows) > 0 {
 		set, err := flow.NewSet(s.flows...)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		inst, err := core.NewInstance(s.topo, set)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		alloc, d, err := s.alloc.CentralizedDelta(inst, s.opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		s.stats.GroupsSolved += uint64(d.Solved)
 		s.stats.GroupsReused += uint64(d.Reused)
@@ -346,8 +401,168 @@ func (s *shard) rebuildAndPublish() error {
 		shares = alloc
 	}
 	s.stats.Rebuilds++
+	return shares, nil
+}
+
+// publish bumps the epoch and swaps in the new snapshot. In a durable
+// shard this runs strictly after the batch's WAL append succeeds.
+func (s *shard) publish(shares core.FlowAllocation) {
 	s.stats.Epoch++
 	s.stats.Flows = uint64(len(s.flows))
 	s.snap.Store(&Snapshot{Epoch: s.stats.Epoch, Shares: shares, Stats: s.stats})
+}
+
+// logBatch appends the batch's events — accepted and rejected alike,
+// each with its verdict — to the shard's WAL under the epoch the batch
+// is about to publish. Rejected events are logged so the admission
+// counters replay exactly, but recovery re-applies accepted ones only.
+func (s *shard) logBatch(ops []op) error {
+	s.walRec.Epoch = s.stats.Epoch + 1
+	evs := s.walRec.Events[:0]
+	for i := range ops {
+		o := &ops[i]
+		if o.kind == opFlush {
+			continue
+		}
+		ev := durable.Event{ID: o.id}
+		if o.err != nil {
+			ev.Verdict = durable.Rejected
+		}
+		if o.kind == opRegister {
+			ev.Kind = durable.EventRegister
+			ev.ID = o.f.ID()
+			ev.Weight = o.f.Weight()
+			ev.Path = o.f.Path()
+		} else {
+			ev.Kind = durable.EventRemove
+		}
+		evs = append(evs, ev)
+	}
+	s.walRec.Events = evs
+	if err := s.dlog.AppendBatch(&s.walRec); err != nil {
+		return fmt.Errorf("%w: shard %d: %v", ErrWAL, s.id, err)
+	}
+	s.stats.WALBatches++
 	return nil
+}
+
+// maybeSnapshot writes a durable snapshot (and compacts the WAL) once
+// enough accepted events have landed since the last one. A snapshot
+// failure is survivable — the WAL still covers everything — so it is
+// counted, not fatal.
+func (s *shard) maybeSnapshot() {
+	if s.dlog == nil || s.snapEvery <= 0 || s.sinceSnap < s.snapEvery {
+		return
+	}
+	s.writeDurableSnapshot()
+}
+
+// writeDurableSnapshot captures the committed flow set + counters into
+// the shard's snapshot file. Called on cadence and from Close.
+func (s *shard) writeDurableSnapshot() {
+	snap := durable.Snapshot{
+		Epoch:    s.stats.Epoch,
+		Counters: s.stats.counters(),
+		Flows:    make([]durable.FlowState, len(s.flows)),
+	}
+	for i, f := range s.flows {
+		snap.Flows[i] = durable.FlowState{ID: f.ID(), Weight: f.Weight(), Path: f.Path()}
+	}
+	if err := s.dlog.WriteSnapshot(&snap); err != nil {
+		s.stats.SnapshotErrors++
+	} else {
+		s.stats.Snapshots++
+		s.sinceSnap = 0
+	}
+	// Snapshot counters land after publish; republish the same shares
+	// and epoch so Stats() sees them without waiting for the next batch.
+	if old := s.snap.Load(); old != nil {
+		s.snap.Store(&Snapshot{Epoch: old.Epoch, Shares: old.Shares, Stats: s.stats})
+	}
+}
+
+// recover rebuilds the shard's worker state from its log: restore the
+// snapshot's flow set and counters, replay the WAL tail batches in
+// commit order (accepted events only — verdicts were decided before
+// the crash and are replayed, not re-judged), then re-price once and
+// publish at the recovered epoch. Because the allocation is a pure
+// function of the ordered flow set, that single solve reproduces the
+// exact bytes the shard had published before the crash. It reports
+// how many WAL tail batches were replayed.
+func (s *shard) recover() (int, error) {
+	snap, batches := s.dlog.Recovered()
+	if snap == nil && len(batches) == 0 {
+		return 0, nil
+	}
+	if snap != nil {
+		s.stats.restoreCounters(snap.Counters)
+		for _, fs := range snap.Flows {
+			f, err := flow.New(fs.ID, fs.Weight, fs.Path)
+			if err != nil {
+				return 0, fmt.Errorf("shard %d: snapshot flow %s: %w", s.id, fs.ID, err)
+			}
+			if _, dup := s.index[f.ID()]; dup {
+				return 0, fmt.Errorf("%w: shard %d: snapshot repeats flow %s", durable.ErrCorrupt, s.id, f.ID())
+			}
+			s.index[f.ID()] = len(s.flows)
+			s.flows = append(s.flows, f)
+			s.wvLoad += f.Weight() * float64(f.VirtualLength())
+		}
+	}
+	for _, rec := range batches {
+		for _, ev := range rec.Events {
+			if ev.Verdict == durable.Rejected {
+				if ev.Kind == durable.EventRegister {
+					s.stats.Rejected++
+				}
+				continue
+			}
+			switch ev.Kind {
+			case durable.EventRegister:
+				f, err := flow.New(ev.ID, ev.Weight, ev.Path)
+				if err != nil {
+					return 0, fmt.Errorf("shard %d: WAL flow %s: %w", s.id, ev.ID, err)
+				}
+				if _, dup := s.index[f.ID()]; dup {
+					return 0, fmt.Errorf("%w: shard %d: WAL re-registers live flow %s", durable.ErrCorrupt, s.id, f.ID())
+				}
+				s.index[f.ID()] = len(s.flows)
+				s.flows = append(s.flows, f)
+				s.wvLoad += f.Weight() * float64(f.VirtualLength())
+				s.stats.Registers++
+				s.stats.Events++
+			case durable.EventRemove:
+				i, ok := s.index[ev.ID]
+				if !ok {
+					return 0, fmt.Errorf("%w: shard %d: WAL removes unknown flow %s", durable.ErrCorrupt, s.id, ev.ID)
+				}
+				f := s.flows[i]
+				s.wvLoad -= f.Weight() * float64(f.VirtualLength())
+				copy(s.flows[i:], s.flows[i+1:])
+				s.flows = s.flows[:len(s.flows)-1]
+				delete(s.index, ev.ID)
+				for j := i; j < len(s.flows); j++ {
+					s.index[s.flows[j].ID()] = j
+				}
+				s.stats.Removes++
+				s.stats.Events++
+			}
+		}
+		s.stats.Batches++
+		s.stats.WALBatches++
+		s.stats.Epoch = rec.Epoch - 1 // publish() below bumps to rec.Epoch
+	}
+	shares, err := s.price()
+	if err != nil {
+		return 0, fmt.Errorf("shard %d: recovery solve: %w", s.id, err)
+	}
+	if len(batches) > 0 {
+		s.publish(shares)
+	} else {
+		// Snapshot only, empty WAL tail: publish at the snapshot epoch
+		// without inventing a new one.
+		s.stats.Flows = uint64(len(s.flows))
+		s.snap.Store(&Snapshot{Epoch: s.stats.Epoch, Shares: shares, Stats: s.stats})
+	}
+	return len(batches), nil
 }
